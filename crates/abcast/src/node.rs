@@ -1,0 +1,279 @@
+//! [`neko::Process`] shells for the two algorithms, so the same state
+//! machines run on the simulator and on the real-time runtime.
+
+use neko::{Ctx, Dur, FdEvent, Message, Pid, Process, TimerId};
+
+use crate::common::{AbcastEvent, MsgId, Payload};
+use crate::fd::{FdAbcast, FdCastAction, FdCastMsg};
+use crate::gm::{GmAbcast, GmCastAction, GmCastMsg, Uniformity};
+
+/// How often an excluded process re-sends its join request, and a
+/// catching-up process its state request. Ten network time units —
+/// long enough not to flood, short enough to keep the paper's rejoin
+/// latency small against `T_MR`.
+pub const RETRY_INTERVAL: Dur = Dur::from_millis(10);
+
+const TAG_JOIN_RETRY: u64 = 1;
+const TAG_CATCHUP_RETRY: u64 = 2;
+
+impl<P: Payload> Message for FdCastMsg<P> {
+    // Consensus aggregates whole batches per instance; no wire-level
+    // coalescing is needed (or used by the paper) for the FD side.
+}
+
+impl<P: Payload> Message for GmCastMsg<P> {
+    /// `Seq`, `AckSn` and `Deliver` carry several sequence numbers when
+    /// queued behind each other (paper Section 4.2).
+    fn try_merge(&mut self, other: &Self) -> bool {
+        match (self, other) {
+            (GmCastMsg::Seq { view: v1, sns: a }, GmCastMsg::Seq { view: v2, sns: b })
+                if v1 == v2 =>
+            {
+                a.extend(b.iter().copied());
+                true
+            }
+            (GmCastMsg::AckSn { view: v1, sns: a }, GmCastMsg::AckSn { view: v2, sns: b })
+                if v1 == v2 =>
+            {
+                a.extend(b.iter().copied());
+                true
+            }
+            (
+                GmCastMsg::Deliver { view: v1, sns: a, stable_up_to: s1 },
+                GmCastMsg::Deliver { view: v2, sns: b, stable_up_to: s2 },
+            ) if v1 == v2 => {
+                a.extend(b.iter().copied());
+                *s1 = (*s1).max(*s2);
+                true
+            }
+            (
+                GmCastMsg::AckUpTo { view: v1, up_to: a },
+                GmCastMsg::AckUpTo { view: v2, up_to: b },
+            ) if v1 == v2 => {
+                *a = (*a).max(*b);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A process running the **FD algorithm** (Chandra–Toueg atomic
+/// broadcast). Commands are payloads to A-broadcast; outputs are
+/// A-deliveries.
+#[derive(Debug)]
+pub struct FdNode<P: Payload> {
+    inner: FdAbcast<P>,
+}
+
+impl<P: Payload> FdNode<P> {
+    /// Creates the node; `suspects_at_start` seeds the failure
+    /// detector output for crash-steady scenarios.
+    pub fn new(me: Pid, n: usize, suspects_at_start: &fdet::SuspectSet) -> Self {
+        FdNode { inner: FdAbcast::new(me, n, suspects_at_start) }
+    }
+
+    /// Disables the coordinator-renumbering optimisation (ablation).
+    pub fn without_renumbering(mut self) -> Self {
+        self.inner = self.inner.without_renumbering();
+        self
+    }
+
+    /// The wrapped state machine (inspection in tests/examples).
+    pub fn algorithm(&self) -> &FdAbcast<P> {
+        &self.inner
+    }
+
+    fn run(&self, actions: Vec<FdCastAction<P>>, ctx: &mut dyn Ctx<FdCastMsg<P>, AbcastEvent<P>>) {
+        let others: Vec<Pid> = Pid::all(ctx.n()).filter(|&p| p != ctx.pid()).collect();
+        for a in actions {
+            match a {
+                FdCastAction::Send(to, m) => ctx.send(to, m),
+                FdCastAction::Multicast(m) => ctx.multicast(&others, m),
+                FdCastAction::Deliver { id, payload } => {
+                    ctx.emit(AbcastEvent::Delivered { id, payload })
+                }
+            }
+        }
+    }
+}
+
+impl<P: Payload> Process for FdNode<P> {
+    type Msg = FdCastMsg<P>;
+    type Cmd = P;
+    type Out = AbcastEvent<P>;
+
+    fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
+        let mut out = Vec::new();
+        self.inner.broadcast(cmd, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg) {
+        let mut out = Vec::new();
+        self.inner.on_message(from, msg, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
+        let mut out = Vec::new();
+        self.inner.on_fd(ev, &mut out);
+        self.run(out, ctx);
+    }
+}
+
+/// A process running the **GM algorithm** (fixed-sequencer atomic
+/// broadcast over group membership).
+#[derive(Debug)]
+pub struct GmNode<P: Payload> {
+    inner: GmAbcast<P>,
+}
+
+impl<P: Payload> GmNode<P> {
+    /// Creates the node (uniform variant).
+    pub fn new(me: Pid, n: usize, suspects_at_start: &fdet::SuspectSet) -> Self {
+        Self::with_uniformity(me, n, suspects_at_start, Uniformity::Uniform)
+    }
+
+    /// Creates the node with an explicit uniformity choice.
+    pub fn with_uniformity(
+        me: Pid,
+        n: usize,
+        suspects_at_start: &fdet::SuspectSet,
+        uniformity: Uniformity,
+    ) -> Self {
+        GmNode { inner: GmAbcast::new(me, n, suspects_at_start, uniformity) }
+    }
+
+    /// The wrapped state machine (inspection in tests/examples).
+    pub fn algorithm(&self) -> &GmAbcast<P> {
+        &self.inner
+    }
+
+    fn run(&mut self, actions: Vec<GmCastAction<P>>, ctx: &mut dyn Ctx<GmCastMsg<P>, AbcastEvent<P>>) {
+        for a in actions {
+            match a {
+                GmCastAction::Send(to, m) => ctx.send(to, m),
+                GmCastAction::Multicast(dests, m) => ctx.multicast(&dests, m),
+                GmCastAction::Deliver { id, payload } => {
+                    ctx.emit(AbcastEvent::Delivered { id, payload })
+                }
+                GmCastAction::JoinNeeded => {
+                    let mut out = Vec::new();
+                    self.inner.request_join(&mut out);
+                    ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
+                    self.run(out, ctx);
+                }
+                GmCastAction::CatchupNeeded => {
+                    ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
+                }
+            }
+        }
+    }
+}
+
+impl<P: Payload> Process for GmNode<P> {
+    type Msg = GmCastMsg<P>;
+    type Cmd = P;
+    type Out = AbcastEvent<P>;
+
+    fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
+        let mut out = Vec::new();
+        self.inner.broadcast(cmd, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg) {
+        let mut out = Vec::new();
+        self.inner.on_message(from, msg, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
+        let mut out = Vec::new();
+        self.inner.on_fd(ev, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, _id: TimerId, tag: u64) {
+        let mut out = Vec::new();
+        match tag {
+            TAG_JOIN_RETRY => {
+                if self.inner.is_excluded() {
+                    self.inner.request_join(&mut out);
+                    ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
+                }
+            }
+            TAG_CATCHUP_RETRY => {
+                if self.inner.is_catching_up() {
+                    self.inner.request_state(&mut out);
+                    ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
+                }
+            }
+            _ => {}
+        }
+        self.run(out, ctx);
+    }
+}
+
+/// A latency-comparison note: [`MsgId`] is shared by both nodes, so the
+/// experiment harness can track any broadcast through either algorithm
+/// with the same key.
+pub type DeliveredEvent<P> = (MsgId, P);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_messages_merge_per_kind_and_view() {
+        use membership::ViewId;
+        let v = ViewId(1);
+        let w = ViewId(2);
+        let mut seq: GmCastMsg<u32> = GmCastMsg::Seq {
+            view: v,
+            sns: vec![(MsgId { origin: Pid::new(0), seq: 0 }, 0)],
+        };
+        let seq2 = GmCastMsg::Seq {
+            view: v,
+            sns: vec![(MsgId { origin: Pid::new(1), seq: 0 }, 1)],
+        };
+        assert!(seq.try_merge(&seq2));
+        let GmCastMsg::Seq { sns, .. } = &seq else { panic!() };
+        assert_eq!(sns.len(), 2);
+
+        let seq_other_view = GmCastMsg::Seq {
+            view: w,
+            sns: vec![(MsgId { origin: Pid::new(1), seq: 1 }, 0)],
+        };
+        assert!(!seq.try_merge(&seq_other_view));
+
+        let mut del: GmCastMsg<u32> = GmCastMsg::Deliver { view: v, sns: vec![0], stable_up_to: 1 };
+        let del2 = GmCastMsg::Deliver { view: v, sns: vec![1, 2], stable_up_to: 3 };
+        assert!(del.try_merge(&del2));
+        let GmCastMsg::Deliver { sns, stable_up_to, .. } = &del else { panic!() };
+        assert_eq!(sns, &vec![0, 1, 2]);
+        assert_eq!(*stable_up_to, 3);
+
+        let mut ack: GmCastMsg<u32> = GmCastMsg::AckSn { view: v, sns: vec![5] };
+        let data = GmCastMsg::Data {
+            view: v,
+            id: MsgId { origin: Pid::new(0), seq: 0 },
+            payload: 1,
+        };
+        assert!(!ack.try_merge(&data), "different kinds never merge");
+    }
+
+    #[test]
+    fn fd_messages_never_merge() {
+        use rbcast::{BcastId, RbMsg};
+        let mk = || {
+            FdCastMsg::Data(RbMsg::Data {
+                id: BcastId { origin: Pid::new(0), seq: 0 },
+                payload: (MsgId { origin: Pid::new(0), seq: 0 }, 7u32),
+            })
+        };
+        let mut a = mk();
+        assert!(!Message::try_merge(&mut a, &mk()));
+    }
+}

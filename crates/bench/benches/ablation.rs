@@ -1,0 +1,77 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`:
+//!
+//! * **renumber** — the coordinator-renumbering optimisation of the
+//!   paper's Section 7 (crash-steady with the *first coordinator*
+//!   crashed: without renumbering every consensus instance pays an
+//!   extra round).
+//! * **coalesce** — message coalescing (several sns per
+//!   seqnum/ack/deliver message): without it the GM algorithm cannot
+//!   sustain high load.
+//! * **lambda** — the network model's λ (CPU cost relative to the
+//!   wire): the paper presents λ = 1; its extended version studies
+//!   λ > 1.
+//! * **uniformity** — uniform vs non-uniform GM (Section 8): the
+//!   non-uniform variant delivers in 2 steps instead of 4.
+
+use figures::{header, row, steady_params};
+use neko::{NetParams, Pid};
+use study::{run_replicated, Algorithm, ScenarioSpec};
+
+fn main() {
+    renumbering();
+    coalescing();
+    lambda();
+    uniformity();
+}
+
+fn renumbering() {
+    header("abl-renumber", "throughput_per_s");
+    // p1 (the default round-1 coordinator) crashed long ago.
+    let spec = ScenarioSpec::CrashSteady { crashed: vec![Pid::new(0)] };
+    for t in [10.0, 100.0, 300.0, 500.0] {
+        for (series, alg) in
+            [("renumbering", Algorithm::Fd), ("no-renumbering", Algorithm::FdNoRenumber)]
+        {
+            let out = run_replicated(alg, &spec, &steady_params(3, t), 0xAB10);
+            row("abl-renumber", series, t, &out);
+        }
+    }
+}
+
+fn coalescing() {
+    header("abl-coalesce", "throughput_per_s");
+    for t in [100.0, 300.0, 500.0, 700.0] {
+        for (series, on) in [("coalescing", true), ("no-coalescing", false)] {
+            let params =
+                steady_params(3, t).with_net(NetParams::default().with_coalescing(on));
+            let out = run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &params, 0xAB20);
+            row("abl-coalesce", series, t, &out);
+        }
+    }
+}
+
+fn lambda() {
+    header("abl-lambda", "lambda");
+    for lam in [0.1, 0.5, 1.0, 2.0, 4.0] {
+        for alg in Algorithm::PAPER {
+            let params =
+                steady_params(3, 100.0).with_net(NetParams::default().with_lambda(lam));
+            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0xAB30);
+            row("abl-lambda", &format!("{alg:?}"), lam, &out);
+        }
+    }
+}
+
+fn uniformity() {
+    header("abl-uniformity", "throughput_per_s");
+    for n in [3, 7] {
+        for t in [10.0, 100.0, 300.0] {
+            for (series, alg) in [("uniform", Algorithm::Gm), ("non-uniform", Algorithm::GmNonUniform)]
+            {
+                let out =
+                    run_replicated(alg, &ScenarioSpec::NormalSteady, &steady_params(n, t), 0xAB40);
+                row("abl-uniformity", &format!("n={n} {series}"), t, &out);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! **Fig. 4** — latency vs throughput in the normal-steady scenario
+//! (no crashes, no suspicions), n = 3 and n = 7.
+//!
+//! Paper result to reproduce: the FD and GM curves *coincide*; latency
+//! grows convexly with throughput and diverges near ~700 msgs/s; n = 7
+//! sits above n = 3.
+
+use figures::{header, row, steady_params, thin};
+use study::{paper, run_replicated, ScenarioSpec};
+
+fn main() {
+    header("fig4", "throughput_per_s");
+    for (series, n, alg) in paper::fig4_series() {
+        for t in thin(paper::throughput_sweep()) {
+            let params = steady_params(n, t);
+            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0x0F16_0004);
+            row("fig4", &series, t, &out);
+        }
+    }
+}

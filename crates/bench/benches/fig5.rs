@@ -1,0 +1,24 @@
+//! **Fig. 5** — latency vs throughput in the crash-steady scenario
+//! (crashes happened long before the measurement; non-coordinator
+//! processes crashed).
+//!
+//! Paper results to reproduce: latency *decreases* as more processes
+//! crash (crashed processes stop loading the network); for the same
+//! number of crashes the GM algorithm is slightly *below* the FD
+//! algorithm (its sequencer waits for a majority of the shrunken view,
+//! the FD coordinator still needs a majority of the original `n`).
+
+use figures::{header, row, steady_params, thin};
+use study::{paper, run_replicated, ScenarioSpec};
+
+fn main() {
+    header("fig5", "throughput_per_s");
+    for (series, n, alg, crashed) in paper::fig5_series() {
+        let spec = ScenarioSpec::CrashSteady { crashed };
+        for t in thin(paper::throughput_sweep()) {
+            let params = steady_params(n, t);
+            let out = run_replicated(alg, &spec, &params, 0x0F16_0005);
+            row("fig5", &series, t, &out);
+        }
+    }
+}

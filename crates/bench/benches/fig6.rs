@@ -1,0 +1,26 @@
+//! **Fig. 6** — latency vs mistake recurrence time `T_MR` in the
+//! suspicion-steady scenario, `T_M = 0`; four panels:
+//! (n, T) ∈ {3, 7} × {10/s, 300/s}.
+//!
+//! Paper results to reproduce: the GM algorithm is *very* sensitive to
+//! wrong suspicions — at n = 3, T = 10/s it only works for
+//! `T_MR ≳ 50 ms` while the FD algorithm still works at 10 ms; the two
+//! algorithms converge as `T_MR → ∞` (toward the Fig. 4 baseline).
+
+use figures::{header, row, steady_params, thin};
+use study::{paper, run_replicated, Algorithm};
+
+fn main() {
+    header("fig6", "tmr_ms");
+    for (n, t) in paper::SUSPICION_PANELS {
+        for alg in Algorithm::PAPER {
+            let series = format!("n={n} T={t} {alg:?}");
+            for tmr in thin(paper::fig6_tmr_values_ms()) {
+                let spec = paper::fig6_scenario(tmr);
+                let params = steady_params(n, t);
+                let out = run_replicated(alg, &spec, &params, 0x0F16_0006);
+                row("fig6", &series, tmr, &out);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! **Fig. 7** — latency vs mistake duration `T_M` in the
+//! suspicion-steady scenario, with `T_MR` fixed per panel at a value
+//! where the algorithms are close (but not equal) at `T_M = 0`.
+//!
+//! Paper result to reproduce: the GM algorithm's latency *rises
+//! steeply* with `T_M` (a suspected-but-correct process is excluded
+//! and keeps being re-excluded until the mistake ends), while the FD
+//! algorithm stays nearly flat.
+
+use figures::{header, row, steady_params, thin};
+use study::{paper, run_replicated, Algorithm};
+
+fn main() {
+    header("fig7", "tm_ms");
+    for (n, t, tmr) in paper::FIG7_PANELS {
+        for alg in Algorithm::PAPER {
+            let series = format!("n={n} T={t} TMR={tmr} {alg:?}");
+            for tm in thin(paper::fig7_tm_values_ms()) {
+                let spec = paper::fig7_scenario(tmr, tm);
+                let params = steady_params(n, t);
+                let out = run_replicated(alg, &spec, &params, 0x0F16_0007);
+                row("fig7", &series, tm, &out);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests: consensus safety and liveness under
+//! adversarial asynchronous schedules with crashes and false
+//! suspicions.
+//!
+//! The harness runs `n` machines over an abstract network (no timing,
+//! arbitrary interleaving chosen by a seeded RNG):
+//!
+//! * messages between correct processes are delivered in random order
+//!   but never lost (quasi-reliable network);
+//! * a minority of processes may crash at random points (software
+//!   crash: everything already emitted is still delivered);
+//! * false suspicions (and their corrections) hit random pairs at
+//!   random times;
+//! * eventually, every correct process suspects every crashed process
+//!   (♦S completeness) and false suspicions stop (eventual weak
+//!   accuracy) — then the run must terminate.
+//!
+//! Checked properties: **agreement** (all correct processes decide the
+//! same value), **validity** (the decision was proposed), **integrity**
+//! (at most one decision per process), **termination**.
+
+use consensus::{Consensus, ConsensusAction, ConsensusConfig, ConsensusMsg};
+use fdet::SuspectSet;
+use neko::{FdEvent, Pid};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type Msg = ConsensusMsg<u32>;
+
+struct Harness {
+    n: usize,
+    machines: Vec<Consensus<u32>>,
+    crashed: Vec<bool>,
+    decisions: Vec<Vec<u32>>,
+    /// (from, to, msg) soup; delivery order randomized.
+    in_flight: Vec<(Pid, Pid, Msg)>,
+    /// (at, event) failure-detector injections not yet applied.
+    fd_queue: Vec<(Pid, FdEvent)>,
+    /// (step, victim) crash plan.
+    crash_plan: Vec<(usize, usize)>,
+    /// (step, at, event) false-suspicion plan.
+    fd_plan: Vec<(usize, usize, FdEvent)>,
+    /// (step, proposer) proposal plan.
+    propose_plan: Vec<(usize, usize)>,
+    step: usize,
+}
+
+impl Harness {
+    fn new(n: usize) -> Self {
+        let machines = (0..n)
+            .map(|i| Consensus::new(ConsensusConfig::ring(Pid::new(i), n), &SuspectSet::new()))
+            .collect();
+        Harness {
+            n,
+            machines,
+            crashed: vec![false; n],
+            decisions: vec![Vec::new(); n],
+            in_flight: Vec::new(),
+            fd_queue: Vec::new(),
+            crash_plan: Vec::new(),
+            fd_plan: Vec::new(),
+            propose_plan: Vec::new(),
+            step: 0,
+        }
+    }
+
+    fn route(&mut self, from: usize, actions: Vec<ConsensusAction<u32>>) {
+        for a in actions {
+            match a {
+                ConsensusAction::Send(to, m) => {
+                    self.in_flight.push((Pid::new(from), to, m));
+                }
+                ConsensusAction::Multicast(m) => {
+                    for to in 0..self.n {
+                        if to != from {
+                            self.in_flight.push((Pid::new(from), Pid::new(to), m.clone()));
+                        }
+                    }
+                }
+                ConsensusAction::Decided(v) => self.decisions[from].push(v),
+            }
+        }
+    }
+
+    fn fire_due_plans(&mut self) {
+        while let Some(pos) = self.crash_plan.iter().position(|(s, _)| *s <= self.step) {
+            let (_, victim) = self.crash_plan.swap_remove(pos);
+            if !self.crashed[victim] {
+                self.crashed[victim] = true;
+                // ♦S completeness: every correct process eventually
+                // suspects the crashed one.
+                for q in 0..self.n {
+                    if q != victim {
+                        self.fd_queue.push((Pid::new(q), FdEvent::Suspect(Pid::new(victim))));
+                    }
+                }
+            }
+        }
+        while let Some(pos) = self.fd_plan.iter().position(|(s, _, _)| *s <= self.step) {
+            let (_, at, ev) = self.fd_plan.swap_remove(pos);
+            self.fd_queue.push((Pid::new(at), ev));
+        }
+        while let Some(pos) = self.propose_plan.iter().position(|(s, _)| *s <= self.step) {
+            let (_, p) = self.propose_plan.swap_remove(pos);
+            if !self.crashed[p] {
+                let mut out = Vec::new();
+                self.machines[p].propose(100 + p as u32, &mut out);
+                self.route(p, out);
+            }
+        }
+    }
+
+    /// Runs until quiescence. Panics (fails the test) if the step
+    /// budget is exhausted — a liveness violation.
+    fn run(&mut self, rng: &mut SmallRng, budget: usize) {
+        loop {
+            self.step += 1;
+            assert!(self.step < budget, "liveness: no quiescence within {budget} steps");
+            self.fire_due_plans();
+            let has_msgs = !self.in_flight.is_empty();
+            let has_fd = !self.fd_queue.is_empty();
+            if !has_msgs && !has_fd {
+                if self.crash_plan.is_empty()
+                    && self.fd_plan.is_empty()
+                    && self.propose_plan.is_empty()
+                {
+                    return;
+                }
+                continue; // plans still pending; advance the step clock
+            }
+            let deliver_msg = has_msgs && (!has_fd || rng.gen_bool(0.7));
+            if deliver_msg {
+                let i = rng.gen_range(0..self.in_flight.len());
+                let (from, to, m) = self.in_flight.swap_remove(i);
+                if self.crashed[to.index()] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                self.machines[to.index()].on_message(from, m, &mut out);
+                self.route(to.index(), out);
+            } else {
+                let i = rng.gen_range(0..self.fd_queue.len());
+                let (at, ev) = self.fd_queue.swap_remove(i);
+                if self.crashed[at.index()] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                self.machines[at.index()].on_fd(ev, &mut out);
+                self.route(at.index(), out);
+            }
+        }
+    }
+
+    fn check_properties(&self) {
+        let mut agreed: Option<u32> = None;
+        for i in 0..self.n {
+            if self.crashed[i] {
+                // Uniform agreement: even a crashed process must not
+                // have decided differently.
+                for &v in &self.decisions[i] {
+                    assert_eq!(*agreed.get_or_insert(v), v, "uniform agreement violated");
+                }
+                continue;
+            }
+            assert_eq!(self.decisions[i].len(), 1, "integrity/termination at p{}", i + 1);
+            let v = self.decisions[i][0];
+            assert_eq!(*agreed.get_or_insert(v), v, "agreement violated at p{}", i + 1);
+        }
+        let v = agreed.expect("at least one correct process decided");
+        assert!((100..100 + self.n as u32).contains(&v), "validity: {v} was never proposed");
+    }
+}
+
+fn run_case(n: usize, crashes: usize, suspicions: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut h = Harness::new(n);
+    // Everyone proposes within the first 40 steps.
+    for p in 0..n {
+        let at = rng.gen_range(0..40);
+        h.propose_plan.push((at, p));
+    }
+    // A minority crashes at random times.
+    let mut victims: Vec<usize> = (0..n).collect();
+    for _ in 0..crashes {
+        let v = victims.swap_remove(rng.gen_range(0..victims.len()));
+        h.crash_plan.push((rng.gen_range(0..200), v));
+    }
+    // False suspicions among (eventually) correct processes, each
+    // corrected a little later (eventual accuracy).
+    for _ in 0..suspicions {
+        let at = rng.gen_range(0..n);
+        let subject = (at + 1 + rng.gen_range(0..n - 1)) % n;
+        let t = rng.gen_range(0..300);
+        h.fd_plan.push((t, at, FdEvent::Suspect(Pid::new(subject))));
+        h.fd_plan.push((t + rng.gen_range(1..100), at, FdEvent::Trust(Pid::new(subject))));
+    }
+    h.run(&mut rng, 1_000_000);
+    h.check_properties();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn failure_free_runs_decide(n in 1usize..=7, seed in any::<u64>()) {
+        run_case(n, 0, 0, seed);
+    }
+
+    #[test]
+    fn crashes_up_to_minority(n in 3usize..=7, seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let f = (n - 1) / 2;
+        let crashes = (frac * (f + 1) as f64) as usize;
+        run_case(n, crashes.min(f), 0, seed);
+    }
+
+    #[test]
+    fn false_suspicions_do_not_break_safety(
+        n in 3usize..=7,
+        seed in any::<u64>(),
+        suspicions in 1usize..8,
+    ) {
+        run_case(n, 0, suspicions, seed);
+    }
+
+    #[test]
+    fn crashes_and_false_suspicions_together(
+        n in 3usize..=7,
+        seed in any::<u64>(),
+        suspicions in 1usize..6,
+    ) {
+        let f = (n - 1) / 2;
+        run_case(n, f, suspicions, seed);
+    }
+}
+
+#[test]
+fn coordinator_crash_before_proposing_terminates_in_round_2() {
+    // Deterministic scripted variant of the paper's crash-transient
+    // worst case: p1 crashes before proposing.
+    for seed in 0..20 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = Harness::new(3);
+        h.crash_plan.push((0, 0));
+        for p in 0..3 {
+            h.propose_plan.push((1, p));
+        }
+        h.run(&mut rng, 100_000);
+        h.check_properties();
+        assert!(h.decisions[0].is_empty(), "crashed p1 cannot decide");
+    }
+}

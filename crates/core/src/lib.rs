@@ -1,0 +1,40 @@
+//! # study — the paper's benchmark methodology
+//!
+//! The performance-evaluation methodology of the DSN 2003 paper
+//! (Sections 5–6), as a library:
+//!
+//! * [`poisson_arrivals`] — the workload: every process broadcasts at
+//!   rate `T/n`, Poisson arrivals;
+//! * [`ScenarioSpec`] — the four benchmark scenarios
+//!   (normal-steady, crash-steady, suspicion-steady, crash-transient);
+//! * [`Algorithm`] — which algorithm/variant to run;
+//! * [`run_once`] / [`run_replicated`] — execute a scenario on the
+//!   [`neko`] simulator and measure latency
+//!   (`L = min_i t_deliver_i − t_broadcast`) with 95% confidence
+//!   intervals over replications;
+//! * [`paper`] — the exact parameter grids behind each figure of the
+//!   paper's evaluation.
+//!
+//! ```
+//! use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
+//! use neko::Dur;
+//!
+//! let params = RunParams::new(3, 100.0)
+//!     .with_warmup(Dur::from_millis(200))
+//!     .with_measure(Dur::from_secs(2))
+//!     .with_replications(2);
+//! let out = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &params, 1);
+//! let latency = out.latency.expect("well below saturation");
+//! assert!(latency.mean() > 0.0);
+//! ```
+
+pub mod paper;
+mod runner;
+mod stats;
+mod workload;
+
+pub use runner::{
+    run_once, run_replicated, Algorithm, RunOutput, RunParams, ScenarioSpec, SingleRun,
+};
+pub use stats::{Running, Summary};
+pub use workload::{poisson_arrivals, Arrival};

@@ -1,0 +1,151 @@
+//! The exact parameter grids of the paper's evaluation (Section 7):
+//! one function per figure, shared by the bench harnesses in
+//! `crates/bench` and by the regression tests. λ = 1 and a 1 ms
+//! network time unit throughout, as in the paper's presented results.
+
+use neko::{Dur, Pid};
+
+use crate::runner::{Algorithm, ScenarioSpec};
+use fdet::QosParams;
+
+/// Throughput sweep (1/s) used by the latency-vs-throughput figures.
+/// The paper's x-axis runs to 800/s with saturation near 700/s.
+pub fn throughput_sweep() -> Vec<f64> {
+    vec![10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]
+}
+
+/// The two group sizes of the study, chosen to tolerate 1 and 3
+/// crashes.
+pub const GROUP_SIZES: [usize; 2] = [3, 7];
+
+/// Fig. 4 — normal-steady: for each `n`, both algorithms (their curves
+/// coincide).
+pub fn fig4_series() -> Vec<(String, usize, Algorithm)> {
+    let mut v = Vec::new();
+    for n in GROUP_SIZES {
+        for alg in Algorithm::PAPER {
+            v.push((format!("n={n} {alg:?}"), n, alg));
+        }
+    }
+    v
+}
+
+/// Fig. 5 — crash-steady series: `(label, n, algorithm, crashed)`.
+/// Crashed processes are non-coordinators (highest pids): the paper
+/// shows that with the renumbering optimisation the steady state does
+/// not depend on which processes crashed, so it plots exactly this
+/// configuration.
+pub fn fig5_series() -> Vec<(String, usize, Algorithm, Vec<Pid>)> {
+    let mut v = Vec::new();
+    for n in GROUP_SIZES {
+        let max_crashes = (n - 1) / 2;
+        for crashes in 0..=max_crashes {
+            let crashed: Vec<Pid> = (0..crashes).map(|i| Pid::new(n - 1 - i)).collect();
+            for alg in Algorithm::PAPER {
+                if crashes == 0 && alg == Algorithm::Gm {
+                    continue; // identical to FD with no crash (Fig. 4)
+                }
+                let label = if crashes == 0 {
+                    format!("n={n} FD and GM, no crash")
+                } else {
+                    format!("n={n} {alg:?}, {crashes} crash(es)")
+                };
+                v.push((label, n, alg, crashed.clone()));
+            }
+        }
+    }
+    v
+}
+
+/// Fig. 6/7 panels: `(n, throughput)` — low load (10/s) and moderate
+/// load (300/s) for both group sizes.
+pub const SUSPICION_PANELS: [(usize, f64); 4] = [(3, 10.0), (7, 10.0), (3, 300.0), (7, 300.0)];
+
+/// Fig. 6 — mistake recurrence time sweep (ms), `T_M = 0`.
+pub fn fig6_tmr_values_ms() -> Vec<u64> {
+    vec![1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000, 1_000_000]
+}
+
+/// Fig. 6 scenario for a given `T_MR`.
+pub fn fig6_scenario(tmr_ms: u64) -> ScenarioSpec {
+    ScenarioSpec::SuspicionSteady {
+        qos: QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(tmr_ms))
+            .with_mistake_duration(Dur::ZERO),
+    }
+}
+
+/// Fig. 7 — mistake duration sweep (ms).
+pub fn fig7_tm_values_ms() -> Vec<u64> {
+    vec![1, 3, 10, 30, 100, 300, 1_000]
+}
+
+/// Fig. 7 panels: `(n, throughput, fixed T_MR in ms)`, chosen by the
+/// paper so that the two algorithms are "close but not equal" at
+/// `T_M = 0`.
+pub const FIG7_PANELS: [(usize, f64, u64); 4] =
+    [(3, 10.0, 1_000), (7, 10.0, 10_000), (3, 300.0, 10_000), (7, 300.0, 100_000)];
+
+/// Fig. 7 scenario for a panel's `T_MR` and a swept `T_M`.
+pub fn fig7_scenario(tmr_ms: u64, tm_ms: u64) -> ScenarioSpec {
+    ScenarioSpec::SuspicionSteady {
+        qos: QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(tmr_ms))
+            .with_mistake_duration(Dur::from_millis(tm_ms)),
+    }
+}
+
+/// Fig. 8 — detection-time values (ms).
+pub const FIG8_TD_MS: [u64; 3] = [0, 10, 100];
+
+/// Fig. 8 scenario: crash of `p1` (first coordinator / sequencer — the
+/// worst case), probe broadcast by `p2` at the crash instant.
+pub fn fig8_scenario(td_ms: u64) -> ScenarioSpec {
+    ScenarioSpec::CrashTransient {
+        crash: Pid::new(0),
+        broadcaster: Pid::new(1),
+        detection: Dur::from_millis(td_ms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_crashes_are_non_coordinators() {
+        for (_, n, _, crashed) in fig5_series() {
+            for c in crashed {
+                assert_ne!(c, Pid::new(0), "p1 must stay coordinator/sequencer");
+                assert!(c.index() >= n - 3);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_has_paper_curve_counts() {
+        let n3: Vec<_> = fig5_series().into_iter().filter(|(_, n, _, _)| *n == 3).collect();
+        // n=3: no-crash, FD 1 crash, GM 1 crash.
+        assert_eq!(n3.len(), 3);
+        let n7: Vec<_> = fig5_series().into_iter().filter(|(_, n, _, _)| *n == 7).collect();
+        // n=7: no-crash + {FD,GM} × {1,2,3 crashes}.
+        assert_eq!(n7.len(), 7);
+    }
+
+    #[test]
+    fn fig8_crash_is_the_first_process() {
+        let ScenarioSpec::CrashTransient { crash, broadcaster, .. } = fig8_scenario(10) else {
+            panic!("wrong scenario");
+        };
+        assert_eq!(crash, Pid::new(0));
+        assert_ne!(broadcaster, crash);
+    }
+
+    #[test]
+    fn sweeps_are_sorted() {
+        let t = throughput_sweep();
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+        let tmr = fig6_tmr_values_ms();
+        assert!(tmr.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,477 @@
+//! The experiment runner: executes one benchmark scenario on the
+//! simulator and measures atomic-broadcast latency the way the paper
+//! defines it (Section 5.1): `L = min_i(t_deliver_i) − t_broadcast`,
+//! averaged over many messages and several independent replications.
+
+use std::collections::BTreeMap;
+
+use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
+use fdet::{crash_steady_plan, crash_transient_plan, suspicion_steady_plan, QosParams, SuspectSet};
+use neko::{derive_seed, Dur, NetParams, NetStats, Pid, Process, Sim, SimBuilder, Time};
+
+use crate::stats::{Running, Summary};
+use crate::workload::poisson_arrivals;
+
+/// Which algorithm (and variant) to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Algorithm {
+    /// Chandra–Toueg atomic broadcast (failure detectors used
+    /// directly).
+    Fd,
+    /// [`Algorithm::Fd`] without the coordinator-renumbering
+    /// optimisation (ablation).
+    FdNoRenumber,
+    /// Fixed-sequencer atomic broadcast over group membership,
+    /// uniform.
+    Gm,
+    /// The non-uniform GM variant of the paper's Section 8.
+    GmNonUniform,
+}
+
+impl Algorithm {
+    /// The two algorithms the paper compares.
+    pub const PAPER: [Algorithm; 2] = [Algorithm::Fd, Algorithm::Gm];
+}
+
+/// The benchmark scenarios of the paper's Section 5.2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioSpec {
+    /// Neither crashes nor wrong suspicions.
+    NormalSteady,
+    /// The listed processes crashed long before the measurement; every
+    /// failure detector suspects them permanently from the start.
+    CrashSteady {
+        /// The crashed processes.
+        crashed: Vec<Pid>,
+    },
+    /// No crashes, but wrong suspicions according to the given QoS
+    /// (`T_MR`, `T_M`), independently per monitored pair.
+    SuspicionSteady {
+        /// Mistake recurrence/duration parameters.
+        qos: QosParams,
+    },
+    /// A single crash after warm-up; one probe message is broadcast at
+    /// the crash instant and its latency measured (`T_D` later, every
+    /// survivor suspects the crashed process).
+    CrashTransient {
+        /// The process that crashes (worst case: the first
+        /// coordinator / the sequencer).
+        crash: Pid,
+        /// The process whose broadcast is measured (`q ≠ p`).
+        broadcaster: Pid,
+        /// Failure-detector detection time `T_D`.
+        detection: Dur,
+    },
+}
+
+/// Run dimensions shared by all scenarios.
+#[derive(Clone, Debug)]
+pub struct RunParams {
+    n: usize,
+    throughput: f64,
+    warmup: Dur,
+    measure: Dur,
+    drain: Dur,
+    replications: usize,
+    net: NetParams,
+    saturation_frac: f64,
+}
+
+impl RunParams {
+    /// Parameters for `n` processes at overall rate `throughput`
+    /// (1/s), with the paper's network model (1 ms unit, λ = 1) and
+    /// moderate defaults: 1 s warm-up, 10 s measurement, 3 s drain,
+    /// 5 replications.
+    pub fn new(n: usize, throughput: f64) -> Self {
+        RunParams {
+            n,
+            throughput,
+            warmup: Dur::from_secs(1),
+            measure: Dur::from_secs(10),
+            drain: Dur::from_secs(3),
+            replications: 5,
+            net: NetParams::default(),
+            saturation_frac: 0.05,
+        }
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nominal overall throughput `T` (1/s).
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// Sets the measurement window.
+    pub fn with_measure(mut self, d: Dur) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Sets the warm-up window (discarded from statistics).
+    pub fn with_warmup(mut self, d: Dur) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the drain window after the last send.
+    pub fn with_drain(mut self, d: Dur) -> Self {
+        self.drain = d;
+        self
+    }
+
+    /// Sets the number of independent replications.
+    pub fn with_replications(mut self, r: usize) -> Self {
+        self.replications = r.max(1);
+        self
+    }
+
+    /// Sets the network model (λ sweeps, coalescing ablation, …).
+    pub fn with_net(mut self, net: NetParams) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the fraction of measured messages that may remain
+    /// undelivered before the run is declared saturated.
+    pub fn with_saturation_frac(mut self, f: f64) -> Self {
+        self.saturation_frac = f;
+        self
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SingleRun {
+    /// Mean latency (ms) over measured messages; `None` when the run
+    /// saturated (too many messages never delivered).
+    pub mean_latency_ms: Option<f64>,
+    /// Messages inside the measurement window.
+    pub measured: u64,
+    /// Measured messages that were never delivered anywhere.
+    pub undelivered: u64,
+    /// Network-model counters for the whole run.
+    pub net: NetStats,
+}
+
+/// Aggregated outcome over replications.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Mean-of-means latency with a 95% CI; `None` when more than half
+    /// the replications saturated.
+    pub latency: Option<Summary>,
+    /// How many replications saturated.
+    pub saturated: usize,
+    /// The individual runs.
+    pub runs: Vec<SingleRun>,
+}
+
+impl RunOutput {
+    /// Mean latency in milliseconds, if the scenario was sustainable.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        self.latency.as_ref().map(Summary::mean)
+    }
+}
+
+/// Runs `replications` independent simulations (in parallel threads)
+/// and aggregates.
+pub fn run_replicated(
+    alg: Algorithm,
+    spec: &ScenarioSpec,
+    params: &RunParams,
+    seed: u64,
+) -> RunOutput {
+    let runs: Vec<SingleRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.replications)
+            .map(|rep| {
+                let spec = spec.clone();
+                let params = params.clone();
+                scope.spawn(move || run_once(alg, &spec, &params, derive_seed(seed, rep as u64)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replication panicked")).collect()
+    });
+    let means: Vec<f64> = runs.iter().filter_map(|r| r.mean_latency_ms).collect();
+    let saturated = runs.len() - means.len();
+    let latency = if means.len() * 2 > runs.len() {
+        Some(Summary::from_samples(&means))
+    } else {
+        None
+    };
+    RunOutput { latency, saturated, runs }
+}
+
+/// Runs one simulation of `alg` under `spec`.
+pub fn run_once(alg: Algorithm, spec: &ScenarioSpec, params: &RunParams, seed: u64) -> SingleRun {
+    let n = params.n;
+    let initial = initial_suspects(spec);
+    match alg {
+        Algorithm::Fd => {
+            run_once_impl(|p| FdNode::<u64>::new(p, n, &initial), spec, params, seed)
+        }
+        Algorithm::FdNoRenumber => run_once_impl(
+            |p| FdNode::<u64>::new(p, n, &initial).without_renumbering(),
+            spec,
+            params,
+            seed,
+        ),
+        Algorithm::Gm => {
+            run_once_impl(|p| GmNode::<u64>::new(p, n, &initial), spec, params, seed)
+        }
+        Algorithm::GmNonUniform => run_once_impl(
+            |p| GmNode::<u64>::with_uniformity(p, n, &initial, Uniformity::NonUniform),
+            spec,
+            params,
+            seed,
+        ),
+    }
+}
+
+fn initial_suspects(spec: &ScenarioSpec) -> SuspectSet {
+    let mut s = SuspectSet::new();
+    if let ScenarioSpec::CrashSteady { crashed } = spec {
+        for &c in crashed {
+            s.apply(neko::FdEvent::Suspect(c));
+        }
+    }
+    s
+}
+
+fn run_once_impl<P>(
+    factory: impl FnMut(Pid) -> P,
+    spec: &ScenarioSpec,
+    params: &RunParams,
+    seed: u64,
+) -> SingleRun
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    match spec {
+        ScenarioSpec::CrashTransient { crash, broadcaster, detection } => {
+            transient_run(factory, params, seed, *crash, *broadcaster, *detection)
+        }
+        _ => steady_run(factory, spec, params, seed),
+    }
+}
+
+fn steady_run<P>(
+    factory: impl FnMut(Pid) -> P,
+    spec: &ScenarioSpec,
+    params: &RunParams,
+    seed: u64,
+) -> SingleRun
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    let n = params.n;
+    let mut sim: Sim<P> = SimBuilder::new(n).seed(seed).network(params.net).build_with(factory);
+    let send_horizon = Time::ZERO + params.warmup + params.measure;
+    let end = send_horizon + params.drain;
+
+    let crashed: &[Pid] = match spec {
+        ScenarioSpec::CrashSteady { crashed } => crashed,
+        _ => &[],
+    };
+    for &c in crashed {
+        sim.schedule_crash(Time::ZERO, c);
+    }
+    match spec {
+        ScenarioSpec::CrashSteady { crashed } => {
+            sim.schedule_fd_plan(crash_steady_plan(n, crashed));
+        }
+        ScenarioSpec::SuspicionSteady { qos } => {
+            sim.schedule_fd_plan(suspicion_steady_plan(n, end, *qos, derive_seed(seed, 0xFD)));
+        }
+        _ => {}
+    }
+
+    let senders: Vec<Pid> = Pid::all(n).filter(|p| !crashed.contains(p)).collect();
+    let arrivals = poisson_arrivals(
+        n,
+        params.throughput,
+        send_horizon,
+        &senders,
+        derive_seed(seed, 0x40AD),
+    );
+    let mut send_times: BTreeMap<u64, Time> = BTreeMap::new();
+    for (t, p, payload) in arrivals {
+        send_times.insert(payload, t);
+        sim.schedule_command(t, p, payload);
+    }
+
+    sim.run_until(end);
+    let mut first_delivery: BTreeMap<u64, Time> = BTreeMap::new();
+    for (t, _, ev) in sim.take_outputs() {
+        let AbcastEvent::Delivered { payload, .. } = ev;
+        first_delivery.entry(payload).or_insert(t);
+    }
+
+    let w0 = Time::ZERO + params.warmup;
+    let mut lat = Running::new();
+    let mut measured = 0u64;
+    let mut undelivered = 0u64;
+    for (payload, sent) in &send_times {
+        if *sent < w0 || *sent >= send_horizon {
+            continue;
+        }
+        measured += 1;
+        match first_delivery.get(payload) {
+            Some(t) => lat.push((*t - *sent).as_millis_f64()),
+            None => undelivered += 1,
+        }
+    }
+    let saturated =
+        measured == 0 || (undelivered as f64) > params.saturation_frac * measured as f64;
+    SingleRun {
+        mean_latency_ms: if saturated || lat.is_empty() { None } else { Some(lat.mean()) },
+        measured,
+        undelivered,
+        net: sim.net_stats(),
+    }
+}
+
+fn transient_run<P>(
+    factory: impl FnMut(Pid) -> P,
+    params: &RunParams,
+    seed: u64,
+    crash: Pid,
+    broadcaster: Pid,
+    detection: Dur,
+) -> SingleRun
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    assert_ne!(crash, broadcaster, "the probe's broadcaster must survive");
+    let n = params.n;
+    let mut sim: Sim<P> = SimBuilder::new(n).seed(seed).network(params.net).build_with(factory);
+    let tc = Time::ZERO + params.warmup;
+    // Background load for the whole run; the crashed process's
+    // post-crash arrivals are dropped by the simulator.
+    let senders: Vec<Pid> = Pid::all(n).collect();
+    let horizon = tc + params.drain;
+    let arrivals =
+        poisson_arrivals(n, params.throughput, horizon, &senders, derive_seed(seed, 0x40AD));
+    const PROBE: u64 = u64::MAX;
+    for (t, p, payload) in arrivals {
+        sim.schedule_command(t, p, payload);
+    }
+    sim.schedule_crash(tc, crash);
+    sim.schedule_command(tc, broadcaster, PROBE);
+    sim.schedule_fd_plan(crash_transient_plan(n, crash, tc, detection));
+    sim.run_until(horizon);
+
+    let first = sim
+        .take_outputs()
+        .into_iter()
+        .find_map(|(t, _, ev)| {
+            let AbcastEvent::Delivered { payload, .. } = ev;
+            (payload == PROBE).then_some(t)
+        });
+    SingleRun {
+        mean_latency_ms: first.map(|t| (t - tc).as_millis_f64()),
+        measured: 1,
+        undelivered: u64::from(first.is_none()),
+        net: sim.net_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, t: f64) -> RunParams {
+        RunParams::new(n, t)
+            .with_warmup(Dur::from_millis(200))
+            .with_measure(Dur::from_secs(2))
+            .with_drain(Dur::from_secs(1))
+            .with_replications(2)
+    }
+
+    #[test]
+    fn normal_steady_runs_both_algorithms() {
+        for alg in Algorithm::PAPER {
+            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &quick(3, 50.0), 1);
+            let lat = out.latency.expect("not saturated");
+            assert!(lat.mean() > 5.0 && lat.mean() < 30.0, "{alg:?}: {}", lat.mean());
+            assert_eq!(out.saturated, 0);
+        }
+    }
+
+    #[test]
+    fn fd_and_gm_agree_in_normal_steady() {
+        let p = quick(3, 100.0);
+        let fd = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 2);
+        let gm = run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &p, 2);
+        let (f, g) = (fd.mean_latency_ms().unwrap(), gm.mean_latency_ms().unwrap());
+        assert!(
+            (f - g).abs() < 1e-9,
+            "same workload, same seeds, identical patterns: fd={f} gm={g}"
+        );
+    }
+
+    #[test]
+    fn crash_steady_is_faster_than_normal() {
+        // Fewer senders → less load → lower latency (paper Fig. 5).
+        let p = quick(3, 300.0);
+        let normal = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 3)
+            .mean_latency_ms()
+            .expect("normal sustains");
+        let crashed = run_replicated(
+            Algorithm::Fd,
+            &ScenarioSpec::CrashSteady { crashed: vec![Pid::new(2)] },
+            &p,
+            3,
+        )
+        .mean_latency_ms()
+        .expect("crash-steady sustains");
+        assert!(crashed < normal, "crashed={crashed} normal={normal}");
+    }
+
+    #[test]
+    fn oversaturated_run_reports_none() {
+        // 5000 msg/s is far beyond the model's capacity.
+        let p = quick(3, 5000.0).with_replications(1);
+        let out = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 4);
+        assert!(out.latency.is_none());
+        assert_eq!(out.saturated, 1);
+    }
+
+    #[test]
+    fn crash_transient_latency_exceeds_detection_time() {
+        let td = Dur::from_millis(50);
+        let spec = ScenarioSpec::CrashTransient {
+            crash: Pid::new(0),
+            broadcaster: Pid::new(1),
+            detection: td,
+        };
+        let p = quick(3, 20.0).with_drain(Dur::from_secs(2));
+        for alg in Algorithm::PAPER {
+            let out = run_replicated(alg, &spec, &p, 5);
+            let lat = out.latency.expect("probe delivered");
+            assert!(
+                lat.mean() >= td.as_millis_f64(),
+                "{alg:?}: latency {} must exceed T_D {}",
+                lat.mean(),
+                td.as_millis_f64()
+            );
+            assert!(lat.mean() < 200.0, "{alg:?}: {}", lat.mean());
+        }
+    }
+
+    #[test]
+    fn suspicion_steady_with_rare_mistakes_matches_normal() {
+        let qos = QosParams::new()
+            .with_mistake_recurrence(Dur::from_secs(10_000))
+            .with_mistake_duration(Dur::ZERO);
+        let p = quick(3, 50.0);
+        let normal =
+            run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &p, 6).mean_latency_ms();
+        let rare = run_replicated(Algorithm::Gm, &ScenarioSpec::SuspicionSteady { qos }, &p, 6)
+            .mean_latency_ms();
+        assert_eq!(normal, rare, "no mistakes in the window ⇒ identical run");
+    }
+}

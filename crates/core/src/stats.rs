@@ -1,0 +1,232 @@
+//! Latency statistics: means and Student-t 95% confidence intervals,
+//! as plotted on every figure of the paper.
+
+/// Two-sided 95% t-quantiles for `df = 1..=30`; the normal quantile is
+/// used beyond.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Sample mean with a 95% confidence interval.
+///
+/// ```
+/// use study::Summary;
+///
+/// let s = Summary::from_samples(&[10.0, 12.0, 11.0, 13.0]);
+/// assert_eq!(s.mean(), 11.5);
+/// assert!(s.ci95() > 0.0);
+/// assert_eq!(s.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    mean: f64,
+    var: f64,
+    n: usize,
+}
+
+impl Summary {
+    /// Summarises `samples` (mean, unbiased variance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary { mean, var, n }
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// The sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if built from a single sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Half-width of the 95% confidence interval of the mean
+    /// (Student-t; infinite for a single sample).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        t95(self.n - 1) * (self.var / self.n as f64).sqrt()
+    }
+}
+
+/// Welford online accumulator, for latency streams too large to keep.
+///
+/// ```
+/// use study::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.len(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Converts to a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn summary(&self) -> Summary {
+        assert!(self.n > 0, "cannot summarise zero samples");
+        Summary { mean: self.mean, var: self.variance(), n: self.n as usize }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_widens_with_variance_and_narrows_with_n() {
+        let tight = Summary::from_samples(&[10.0, 10.1, 9.9, 10.0]);
+        let loose = Summary::from_samples(&[5.0, 15.0, 2.0, 18.0]);
+        assert!(tight.ci95() < loose.ci95());
+
+        let few = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let many: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let many = Summary::from_samples(&many);
+        assert!(many.ci95() < few.ci95());
+    }
+
+    #[test]
+    fn single_sample_has_infinite_ci() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert!(s.ci95().is_infinite());
+    }
+
+    #[test]
+    fn t_table_boundaries() {
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(30), 2.042);
+        assert_eq!(t95(31), 1.96);
+        assert!(t95(0).is_infinite());
+    }
+
+    #[test]
+    fn running_agrees_with_summary() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let s = Summary::from_samples(&xs);
+        assert!((r.mean() - s.mean()).abs() < 1e-9);
+        assert!((r.variance() - s.variance()).abs() < 1e-9);
+        assert_eq!(r.len(), 1000);
+        assert!(r.min() <= r.mean() && r.mean() <= r.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Empirical estimation of failure-detector QoS metrics.
+//!
+//! Given the observed edge stream of one monitored pair `(q, p)` and
+//! the (ground-truth) crash time of `p`, if any, this module computes
+//! the Chen-et-al. metrics the paper parameterises its models with:
+//! detection time `T_D`, mistake recurrence time `T_MR` and mistake
+//! duration `T_M`. Useful for calibrating the real runtime's
+//! heartbeat detector against the simulation's QoS parameters, and for
+//! validating generated suspicion plans.
+
+use neko::{Dur, FdEvent, Time};
+
+/// Online estimator for one monitored pair.
+///
+/// Feed it edges in time order with [`observe`](QosEstimator::observe)
+/// and, if the monitored process crashed, tell it with
+/// [`crashed_at`](QosEstimator::crashed_at); then read the metrics.
+///
+/// ```
+/// use fdet::QosEstimator;
+/// use neko::{Dur, FdEvent, Pid, Time};
+///
+/// let p = Pid::new(1);
+/// let mut est = QosEstimator::new();
+/// // Two 10 ms mistakes, 100 ms apart.
+/// est.observe(Time::from_millis(100), FdEvent::Suspect(p));
+/// est.observe(Time::from_millis(110), FdEvent::Trust(p));
+/// est.observe(Time::from_millis(200), FdEvent::Suspect(p));
+/// est.observe(Time::from_millis(210), FdEvent::Trust(p));
+/// assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(10)));
+/// assert_eq!(est.mean_mistake_recurrence(), Some(Dur::from_millis(100)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QosEstimator {
+    crash: Option<Time>,
+    current_suspicion: Option<Time>,
+    last_mistake_start: Option<Time>,
+    mistake_durations: Vec<Dur>,
+    recurrence_gaps: Vec<Dur>,
+    detection: Option<Dur>,
+}
+
+impl QosEstimator {
+    /// A fresh estimator with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the ground-truth crash time of the monitored process.
+    pub fn crashed_at(&mut self, t: Time) {
+        self.crash = Some(t);
+    }
+
+    /// Feeds one edge about the monitored process. Edges must arrive
+    /// in non-decreasing time order; redundant edges are ignored.
+    pub fn observe(&mut self, t: Time, ev: FdEvent) {
+        match ev {
+            FdEvent::Suspect(_) => {
+                if self.current_suspicion.is_some() {
+                    return; // redundant
+                }
+                self.current_suspicion = Some(t);
+                if let Some(crash) = self.crash {
+                    if t >= crash && self.detection.is_none() {
+                        self.detection = Some(t - crash);
+                        return;
+                    }
+                }
+                if let Some(prev) = self.last_mistake_start {
+                    self.recurrence_gaps.push(t - prev);
+                }
+                self.last_mistake_start = Some(t);
+            }
+            FdEvent::Trust(_) => {
+                let Some(start) = self.current_suspicion.take() else {
+                    return; // redundant
+                };
+                // Only suspicions that started before the crash (or
+                // with no crash at all) are mistakes.
+                let is_mistake = match self.crash {
+                    None => true,
+                    Some(c) => start < c,
+                };
+                if is_mistake {
+                    self.mistake_durations.push(t - start);
+                }
+            }
+        }
+    }
+
+    /// The observed detection time `T_D` (crash → permanent
+    /// suspicion), if the crash and its detection were both observed.
+    pub fn detection(&self) -> Option<Dur> {
+        self.detection
+    }
+
+    /// Mean observed mistake duration `T_M`, if any mistake completed.
+    pub fn mean_mistake_duration(&self) -> Option<Dur> {
+        mean(&self.mistake_durations)
+    }
+
+    /// Mean observed mistake recurrence time `T_MR` (start-to-start),
+    /// if at least two mistakes were observed.
+    pub fn mean_mistake_recurrence(&self) -> Option<Dur> {
+        mean(&self.recurrence_gaps)
+    }
+
+    /// Number of completed mistakes observed.
+    pub fn mistakes(&self) -> usize {
+        self.mistake_durations.len()
+    }
+}
+
+fn mean(v: &[Dur]) -> Option<Dur> {
+    if v.is_empty() {
+        return None;
+    }
+    let total: u64 = v.iter().map(|d| d.as_micros()).sum();
+    Some(Dur::from_micros(total / v.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neko::Pid;
+
+    #[test]
+    fn detection_time_measured_from_crash() {
+        let p = Pid::new(0);
+        let mut est = QosEstimator::new();
+        est.crashed_at(Time::from_millis(500));
+        est.observe(Time::from_millis(530), FdEvent::Suspect(p));
+        assert_eq!(est.detection(), Some(Dur::from_millis(30)));
+        assert_eq!(est.mistakes(), 0);
+    }
+
+    #[test]
+    fn pre_crash_suspicions_are_mistakes() {
+        let p = Pid::new(0);
+        let mut est = QosEstimator::new();
+        est.crashed_at(Time::from_millis(1_000));
+        est.observe(Time::from_millis(100), FdEvent::Suspect(p));
+        est.observe(Time::from_millis(120), FdEvent::Trust(p));
+        est.observe(Time::from_millis(1_050), FdEvent::Suspect(p));
+        assert_eq!(est.mistakes(), 1);
+        assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(20)));
+        assert_eq!(est.detection(), Some(Dur::from_millis(50)));
+    }
+
+    #[test]
+    fn redundant_edges_ignored() {
+        let p = Pid::new(0);
+        let mut est = QosEstimator::new();
+        est.observe(Time::from_millis(1), FdEvent::Trust(p));
+        est.observe(Time::from_millis(2), FdEvent::Suspect(p));
+        est.observe(Time::from_millis(3), FdEvent::Suspect(p));
+        est.observe(Time::from_millis(9), FdEvent::Trust(p));
+        assert_eq!(est.mistakes(), 1);
+        assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(7)));
+    }
+
+    #[test]
+    fn validates_generated_suspicion_plan() {
+        use crate::{suspicion_steady_plan, QosParams};
+        let tmr = Dur::from_millis(300);
+        let tm = Dur::from_millis(30);
+        let params =
+            QosParams::new().with_mistake_recurrence(tmr).with_mistake_duration(tm);
+        let horizon = Time::from_secs(600);
+        let plan = suspicion_steady_plan(2, horizon, params, 5);
+        let mut est = QosEstimator::new();
+        for (t, q, ev) in plan {
+            if q == Pid::new(0) && ev.subject() == Pid::new(1) {
+                est.observe(t, ev);
+            }
+        }
+        let got_tm = est.mean_mistake_duration().expect("mistakes observed").as_millis_f64();
+        let got_tmr =
+            est.mean_mistake_recurrence().expect("recurrences observed").as_millis_f64();
+        // Interval merging biases both slightly upward; allow 15%.
+        assert!((got_tm - 30.0).abs() < 0.15 * 30.0, "T_M ≈ {got_tm}");
+        assert!((got_tmr - 300.0).abs() < 0.15 * 300.0, "T_MR ≈ {got_tmr}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # fdet — failure-detector models
+//!
+//! Failure detectors for the atomic-broadcast study, modelled the way
+//! the paper models them (Section 6.2): not as a concrete detection
+//! algorithm, but abstractly through the **quality-of-service
+//! metrics** of Chen, Toueg and Aguilera — detection time `T_D`
+//! (constant), mistake recurrence time `T_MR` and mistake duration
+//! `T_M` (both exponential, independent per monitored pair).
+//!
+//! * [`QosParams`] — the three metrics;
+//! * [`crash_steady_plan`], [`crash_transient_plan`],
+//!   [`suspicion_steady_plan`] — turn a benchmark scenario into a
+//!   stream of timestamped [`neko::FdEvent`]s to inject into a
+//!   simulation;
+//! * [`SuspectSet`] — per-process bookkeeping used by the protocol
+//!   state machines;
+//! * [`QosEstimator`] — measures the metrics back from an observed
+//!   edge stream (e.g. from the real runtime's heartbeat detector,
+//!   which lives in [`neko::RealConfig::heartbeat`]).
+//!
+//! ```
+//! use fdet::{suspicion_steady_plan, QosParams};
+//! use neko::{Dur, Time};
+//!
+//! let qos = QosParams::new()
+//!     .with_mistake_recurrence(Dur::from_millis(1_000))
+//!     .with_mistake_duration(Dur::ZERO);
+//! let plan = suspicion_steady_plan(3, Time::from_secs(10), qos, 42);
+//! assert!(!plan.is_empty()); // ready for Sim::schedule_fd_plan
+//! ```
+
+mod estimate;
+mod qos;
+mod suspect;
+
+pub use estimate::QosEstimator;
+pub use qos::{
+    crash_steady_plan, crash_transient_plan, suspicion_steady_plan, PlanEntry, QosParams,
+};
+pub use suspect::SuspectSet;

@@ -1,0 +1,329 @@
+//! Failure detectors modelled by their quality of service, after
+//! Chen, Toueg and Aguilera (*On the quality of service of failure
+//! detectors*, IEEE ToC 2002) — exactly as the paper does (Section
+//! 6.2).
+//!
+//! In a system of `n` processes each process monitors every other, so
+//! there are `n(n−1)` failure-detector modules. Each module is
+//! characterised by three metrics:
+//!
+//! * **detection time** `T_D` — from the crash of `p` to the time `q`
+//!   starts suspecting `p` permanently (constant in the paper);
+//! * **mistake recurrence time** `T_MR` — time between two consecutive
+//!   wrong suspicions (exponential);
+//! * **mistake duration** `T_M` — how long a wrong suspicion lasts
+//!   (exponential).
+//!
+//! Modules are independent and identically distributed, as in the
+//! paper. The generators below turn these metrics into *plans*:
+//! streams of timestamped [`FdEvent`]s to inject into a simulation
+//! ([`neko::Sim::schedule_fd_plan`]).
+
+use neko::{sample_exp_micros, stream_rng, Dur, FdEvent, Pid, Time};
+
+/// One timestamped failure-detector edge: at `time`, the detector *at*
+/// process `.1` reports `.2`.
+pub type PlanEntry = (Time, Pid, FdEvent);
+
+/// QoS parameters of the (identically distributed) failure-detector
+/// modules.
+///
+/// ```
+/// use fdet::QosParams;
+/// use neko::Dur;
+///
+/// let q = QosParams::new()
+///     .with_detection(Dur::from_millis(10))
+///     .with_mistake_recurrence(Dur::from_millis(1000))
+///     .with_mistake_duration(Dur::from_millis(10));
+/// assert_eq!(q.detection(), Dur::from_millis(10));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QosParams {
+    detection: Dur,
+    mistake_recurrence: Dur,
+    mistake_duration: Dur,
+}
+
+impl QosParams {
+    /// A perfect detector: instant detection, no mistakes.
+    pub fn new() -> Self {
+        QosParams {
+            detection: Dur::ZERO,
+            mistake_recurrence: Dur::MAX,
+            mistake_duration: Dur::ZERO,
+        }
+    }
+
+    /// Sets the (constant) detection time `T_D`.
+    pub fn with_detection(mut self, td: Dur) -> Self {
+        self.detection = td;
+        self
+    }
+
+    /// Sets the mean mistake recurrence time `T_MR`. `Dur::MAX` means
+    /// "never makes mistakes".
+    pub fn with_mistake_recurrence(mut self, tmr: Dur) -> Self {
+        self.mistake_recurrence = tmr;
+        self
+    }
+
+    /// Sets the mean mistake duration `T_M`. Zero-duration mistakes
+    /// still deliver a `Suspect` edge immediately followed by a
+    /// `Trust` edge — algorithms react to the edge.
+    pub fn with_mistake_duration(mut self, tm: Dur) -> Self {
+        self.mistake_duration = tm;
+        self
+    }
+
+    /// The detection time `T_D`.
+    pub fn detection(&self) -> Dur {
+        self.detection
+    }
+
+    /// The mean mistake recurrence time `T_MR`.
+    pub fn mistake_recurrence(&self) -> Dur {
+        self.mistake_recurrence
+    }
+
+    /// The mean mistake duration `T_M`.
+    pub fn mistake_duration(&self) -> Dur {
+        self.mistake_duration
+    }
+
+    /// Whether this detector ever makes mistakes.
+    pub fn makes_mistakes(&self) -> bool {
+        self.mistake_recurrence != Dur::MAX
+    }
+}
+
+impl Default for QosParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plan for the **crash-steady** scenario: the crashes happened long
+/// ago, so at time zero every correct process already suspects every
+/// crashed process, permanently. No wrong suspicions.
+pub fn crash_steady_plan(n: usize, crashed: &[Pid]) -> Vec<PlanEntry> {
+    let mut plan = Vec::new();
+    for q in Pid::all(n) {
+        if crashed.contains(&q) {
+            continue;
+        }
+        for &p in crashed {
+            if p != q {
+                plan.push((Time::ZERO, q, FdEvent::Suspect(p)));
+            }
+        }
+    }
+    plan
+}
+
+/// Plan for the **crash-transient** scenario: `p` crashes at
+/// `crash_at`; every other process starts suspecting it permanently
+/// `T_D` later. No wrong suspicions.
+pub fn crash_transient_plan(n: usize, p: Pid, crash_at: Time, detection: Dur) -> Vec<PlanEntry> {
+    Pid::all(n)
+        .filter(|&q| q != p)
+        .map(|q| (crash_at + detection, q, FdEvent::Suspect(p)))
+        .collect()
+}
+
+/// Plan for the **suspicion-steady** scenario: no crashes, but every
+/// ordered pair `(q, p)` wrongly suspects according to its own
+/// independent renewal process — mistakes start `Exp(T_MR)` apart and
+/// last `Exp(T_M)`.
+///
+/// Overlapping mistakes of one pair are merged into a single suspicion
+/// interval, so the emitted edges strictly alternate
+/// `Suspect`/`Trust`. Zero-length mistakes emit both edges at the
+/// same instant (`Suspect` first), which is how the paper's `T_M = 0`
+/// configuration still perturbs the algorithms.
+///
+/// The plan covers `[0, horizon)` and is deterministic in `seed`.
+pub fn suspicion_steady_plan(
+    n: usize,
+    horizon: Time,
+    params: QosParams,
+    seed: u64,
+) -> Vec<PlanEntry> {
+    let mut plan = Vec::new();
+    if !params.makes_mistakes() {
+        return plan;
+    }
+    let tmr_mean = params.mistake_recurrence().as_micros() as f64;
+    let tm_mean = params.mistake_duration().as_micros() as f64;
+    for q in Pid::all(n) {
+        for p in Pid::all(n) {
+            if p == q {
+                continue;
+            }
+            let stream = (q.index() * n + p.index()) as u64;
+            let mut rng = stream_rng(seed, 0xFD00_0000 + stream);
+            // Current merged suspicion interval [start, end), if any.
+            let mut interval: Option<(u64, u64)> = None;
+            // First mistake: stationary start — offset into the cycle.
+            let mut next_start = sample_exp_micros(&mut rng, tmr_mean);
+            while next_start < horizon.as_micros() {
+                let dur = sample_exp_micros(&mut rng, tm_mean);
+                let end = next_start.saturating_add(dur);
+                interval = match interval {
+                    None => Some((next_start, end)),
+                    Some((s, e)) if next_start <= e => Some((s, e.max(end))),
+                    Some((s, e)) => {
+                        push_interval(&mut plan, q, p, s, e, horizon);
+                        Some((next_start, end))
+                    }
+                };
+                next_start =
+                    next_start.saturating_add(sample_exp_micros(&mut rng, tmr_mean).max(1));
+            }
+            if let Some((s, e)) = interval {
+                push_interval(&mut plan, q, p, s, e, horizon);
+            }
+        }
+    }
+    plan.sort_by_key(|(t, q, ev)| (*t, q.index(), matches!(ev, FdEvent::Trust(_))));
+    plan
+}
+
+fn push_interval(
+    plan: &mut Vec<PlanEntry>,
+    q: Pid,
+    p: Pid,
+    start: u64,
+    end: u64,
+    horizon: Time,
+) {
+    plan.push((Time::from_micros(start), q, FdEvent::Suspect(p)));
+    let end = end.min(horizon.as_micros());
+    plan.push((Time::from_micros(end), q, FdEvent::Trust(p)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_steady_suspects_all_crashed_at_zero() {
+        let crashed = [Pid::new(2)];
+        let plan = crash_steady_plan(4, &crashed);
+        assert_eq!(plan.len(), 3); // three survivors suspect p3
+        for (t, q, ev) in &plan {
+            assert_eq!(*t, Time::ZERO);
+            assert_ne!(*q, Pid::new(2));
+            assert_eq!(*ev, FdEvent::Suspect(Pid::new(2)));
+        }
+    }
+
+    #[test]
+    fn crash_steady_with_multiple_crashes() {
+        let crashed = [Pid::new(0), Pid::new(1)];
+        let plan = crash_steady_plan(4, &crashed);
+        // p3 and p4 each suspect p1 and p2.
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn crash_transient_fires_detection_time_after_crash() {
+        let plan =
+            crash_transient_plan(3, Pid::new(0), Time::from_secs(5), Dur::from_millis(100));
+        assert_eq!(plan.len(), 2);
+        for (t, q, ev) in &plan {
+            assert_eq!(*t, Time::from_secs(5) + Dur::from_millis(100));
+            assert_ne!(*q, Pid::new(0));
+            assert_eq!(*ev, FdEvent::Suspect(Pid::new(0)));
+        }
+    }
+
+    #[test]
+    fn suspicion_plan_is_empty_for_perfect_detector() {
+        let plan = suspicion_steady_plan(3, Time::from_secs(10), QosParams::new(), 1);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn suspicion_plan_alternates_per_pair() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(50))
+            .with_mistake_duration(Dur::from_millis(20));
+        let plan = suspicion_steady_plan(3, Time::from_secs(20), params, 7);
+        assert!(!plan.is_empty());
+        // Per ordered pair, edges alternate S, T, S, T, … and never
+        // move backwards in time.
+        for q in Pid::all(3) {
+            for p in Pid::all(3) {
+                let edges: Vec<_> = plan
+                    .iter()
+                    .filter(|(_, at, ev)| *at == q && ev.subject() == p)
+                    .collect();
+                let mut suspected = false;
+                let mut last = Time::ZERO;
+                for (t, _, ev) in edges {
+                    assert!(*t >= last);
+                    last = *t;
+                    match ev {
+                        FdEvent::Suspect(_) => {
+                            assert!(!suspected, "double suspect for {q}->{p}");
+                            suspected = true;
+                        }
+                        FdEvent::Trust(_) => {
+                            assert!(suspected, "trust without suspect for {q}->{p}");
+                            suspected = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suspicion_plan_zero_duration_mistakes_emit_both_edges() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(100))
+            .with_mistake_duration(Dur::ZERO);
+        let plan = suspicion_steady_plan(2, Time::from_secs(10), params, 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len() % 2, 0);
+        // Every suspect is matched by a trust at the same instant.
+        let suspects = plan.iter().filter(|(_, _, e)| matches!(e, FdEvent::Suspect(_)));
+        let trusts: Vec<_> =
+            plan.iter().filter(|(_, _, e)| matches!(e, FdEvent::Trust(_))).collect();
+        for (i, (t, q, _)) in suspects.enumerate() {
+            assert_eq!(trusts[i].0, *t);
+            assert_eq!(trusts[i].1, *q);
+        }
+    }
+
+    #[test]
+    fn suspicion_plan_mistake_rate_tracks_tmr() {
+        let tmr = Dur::from_millis(200);
+        let params =
+            QosParams::new().with_mistake_recurrence(tmr).with_mistake_duration(Dur::ZERO);
+        let horizon = Time::from_secs(400);
+        let plan = suspicion_steady_plan(2, horizon, params, 11);
+        // 2 ordered pairs × (400 s / 0.2 s) ≈ 4000 mistakes expected;
+        // each mistake is 2 edges. Allow ±15%.
+        let mistakes = plan.len() as f64 / 2.0;
+        let expected = 2.0 * horizon.as_secs_f64() / tmr.as_secs_f64();
+        assert!(
+            (mistakes - expected).abs() < 0.15 * expected,
+            "observed {mistakes}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn suspicion_plan_deterministic_in_seed() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(50))
+            .with_mistake_duration(Dur::from_millis(5));
+        let a = suspicion_steady_plan(3, Time::from_secs(5), params, 42);
+        let b = suspicion_steady_plan(3, Time::from_secs(5), params, 42);
+        let c = suspicion_steady_plan(3, Time::from_secs(5), params, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

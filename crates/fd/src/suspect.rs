@@ -1,0 +1,100 @@
+//! Local bookkeeping of a failure detector's current output.
+
+use std::collections::BTreeSet;
+
+use neko::{FdEvent, Pid};
+
+/// The set of processes a local failure-detector module currently
+/// suspects.
+///
+/// Protocol state machines (consensus, membership, …) keep one of
+/// these, feed it every [`FdEvent`] they receive, and query it when
+/// they need the detector's current opinion.
+///
+/// ```
+/// use fdet::SuspectSet;
+/// use neko::{FdEvent, Pid};
+///
+/// let mut s = SuspectSet::new();
+/// assert!(s.apply(FdEvent::Suspect(Pid::new(1))));
+/// assert!(s.is_suspected(Pid::new(1)));
+/// assert!(!s.apply(FdEvent::Suspect(Pid::new(1)))); // redundant
+/// assert!(s.apply(FdEvent::Trust(Pid::new(1))));
+/// assert!(!s.is_suspected(Pid::new(1)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuspectSet {
+    suspected: BTreeSet<Pid>,
+}
+
+impl SuspectSet {
+    /// An empty suspect set (everyone trusted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies an edge; returns `true` if the set changed.
+    pub fn apply(&mut self, ev: FdEvent) -> bool {
+        match ev {
+            FdEvent::Suspect(p) => self.suspected.insert(p),
+            FdEvent::Trust(p) => self.suspected.remove(&p),
+        }
+    }
+
+    /// Whether `p` is currently suspected.
+    pub fn is_suspected(&self, p: Pid) -> bool {
+        self.suspected.contains(&p)
+    }
+
+    /// The currently suspected processes, in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.suspected.iter().copied()
+    }
+
+    /// Number of suspected processes.
+    pub fn len(&self) -> usize {
+        self.suspected.len()
+    }
+
+    /// Whether nobody is suspected.
+    pub fn is_empty(&self) -> bool {
+        self.suspected.is_empty()
+    }
+}
+
+impl Extend<FdEvent> for SuspectSet {
+    fn extend<T: IntoIterator<Item = FdEvent>>(&mut self, iter: T) {
+        for ev in iter {
+            self.apply(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_reports_changes() {
+        let mut s = SuspectSet::new();
+        assert!(s.is_empty());
+        assert!(s.apply(FdEvent::Suspect(Pid::new(3))));
+        assert!(!s.apply(FdEvent::Suspect(Pid::new(3))));
+        assert!(!s.apply(FdEvent::Trust(Pid::new(1))));
+        assert_eq!(s.len(), 1);
+        assert!(s.apply(FdEvent::Trust(Pid::new(3))));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut s = SuspectSet::new();
+        s.extend([
+            FdEvent::Suspect(Pid::new(5)),
+            FdEvent::Suspect(Pid::new(1)),
+            FdEvent::Suspect(Pid::new(3)),
+        ]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![Pid::new(1), Pid::new(3), Pid::new(5)]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Wire messages, actions and the unstable-state abstraction of the
+//! membership protocol.
+
+use std::collections::BTreeSet;
+
+use consensus::ConsensusMsg;
+use neko::Pid;
+
+use crate::view::{View, ViewId};
+
+/// The application-defined bundle of *unstable* messages a process
+/// contributes to a view change (its "flush" payload).
+///
+/// The membership layer only needs to union bundles; what is inside —
+/// payloads, sequence numbers — is the atomic-broadcast layer's
+/// business.
+pub trait Unstable: Clone + Eq + Ord + std::fmt::Debug + 'static {
+    /// Merges another process's bundle into this one (set union with
+    /// application-defined conflict resolution).
+    fn merge(&mut self, other: &Self);
+}
+
+impl<T: Clone + Eq + Ord + std::fmt::Debug + 'static> Unstable for BTreeSet<T> {
+    fn merge(&mut self, other: &Self) {
+        self.extend(other.iter().cloned());
+    }
+}
+
+/// The value decided by a view change's consensus: the pair `(P, U)`
+/// of the paper's Section 4.3 — the next membership and the union of
+/// unstable messages to deliver before installing it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ViewProposal<U> {
+    /// `P`: the proposed next membership.
+    pub members: BTreeSet<Pid>,
+    /// `U`: union of the unstable bundles collected by the proposer.
+    pub unstable: U,
+}
+
+/// Messages of the membership protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GmMsg<U> {
+    /// A member's flush for a view change of `view`: announces (and
+    /// merges) the exclusion/join sets and carries the sender's
+    /// unstable messages. The first flush a process sees for its
+    /// current view is what makes it join the view change.
+    Flush {
+        /// The view being changed.
+        view: ViewId,
+        /// Members being excluded (suspected).
+        excluded: BTreeSet<Pid>,
+        /// Processes being (re)admitted.
+        joining: BTreeSet<Pid>,
+        /// The sender's unstable messages.
+        unstable: U,
+    },
+    /// Consensus traffic of the view change of `view`.
+    Cons {
+        /// The view being changed.
+        view: ViewId,
+        /// The embedded consensus message.
+        inner: ConsensusMsg<ViewProposal<U>>,
+    },
+    /// An excluded process asking to be let back in.
+    Join,
+    /// Tells a joiner the view it has been admitted into.
+    Welcome {
+        /// Id of the view.
+        view: ViewId,
+        /// Its members.
+        members: BTreeSet<Pid>,
+    },
+}
+
+/// Outputs of the membership state machine, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GmAction<U> {
+    /// Send to one process.
+    Send(Pid, GmMsg<U>),
+    /// Send to each listed process (one multicast).
+    Multicast(Vec<Pid>, GmMsg<U>),
+    /// A new view is installed: first deliver `unstable`
+    /// (deterministically), then resume in `view`. `joined` lists
+    /// processes admitted by this change.
+    Install {
+        /// The new view.
+        view: View,
+        /// Agreed union of unstable messages (`U'` of the paper).
+        unstable: U,
+        /// Members of `view` that were not members before.
+        joined: BTreeSet<Pid>,
+    },
+    /// This process was excluded: `view` is the view it is *not* part
+    /// of. The layer above should pause sending and call
+    /// [`crate::Membership::request_join`] (and retry on a timer).
+    Excluded {
+        /// The view we were excluded from.
+        view: View,
+    },
+    /// This process was readmitted into `view`; the layer above must
+    /// perform a state transfer to catch up on missed deliveries.
+    Readmitted {
+        /// The view we rejoined.
+        view: View,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btreeset_unstable_merges_as_union() {
+        let mut a: BTreeSet<u32> = [1, 2].into();
+        let b: BTreeSet<u32> = [2, 3].into();
+        a.merge(&b);
+        assert_eq!(a, [1, 2, 3].into());
+    }
+
+    #[test]
+    fn proposal_ordering_is_total() {
+        let a = ViewProposal { members: BTreeSet::from([Pid::new(0)]), unstable: BTreeSet::from([1u32]) };
+        let b = ViewProposal { members: BTreeSet::from([Pid::new(0)]), unstable: BTreeSet::from([2u32]) };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,381 @@
+//! The discrete-event kernel: event queue, resource scheduling,
+//! crash semantics and failure-detector masks.
+//!
+//! The kernel holds everything *except* the user processes, so that a
+//! process handler can receive `&mut Kernel` (wrapped in a context)
+//! while the simulator holds `&mut` to the process itself.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use crate::net::{Cpu, CpuJob, NetParams, NetRes, NetStats, SendJob};
+use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId};
+use crate::rng::stream_rng;
+use crate::time::{Dur, Time};
+
+/// Events understood by the kernel.
+#[derive(Debug)]
+pub(crate) enum Ev<M, C> {
+    /// Driver-injected command for a process.
+    Cmd { to: Pid, cmd: C },
+    /// Message ready for the application layer of `to`.
+    Deliver { to: Pid, from: Pid, msg: M },
+    /// Failure-detector edge at process `at`.
+    Fd { at: Pid, ev: FdEvent },
+    /// Timer armed by `at`.
+    Timer { at: Pid, id: TimerId, tag: u64 },
+    /// Process `at` crashes (software crash).
+    Crash { at: Pid },
+    /// The CPU of host `at` finished its current job.
+    CpuDone { at: Pid },
+    /// The shared network finished transmitting its current message.
+    NetDone,
+}
+
+pub(crate) struct Scheduled<M, C> {
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) ev: Ev<M, C>,
+}
+
+impl<M, C> PartialEq for Scheduled<M, C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, C> Eq for Scheduled<M, C> {}
+impl<M, C> PartialOrd for Scheduled<M, C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, C> Ord for Scheduled<M, C> {
+    /// Reversed so that the `BinaryHeap` pops the *earliest* event;
+    /// ties broken by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Everything a running simulation owns apart from the processes.
+pub(crate) struct Kernel<M: Message, C, O> {
+    pub(crate) now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M, C>>,
+    n: usize,
+    params: NetParams,
+    cpus: Vec<Cpu<M>>,
+    net: NetRes<M>,
+    pub(crate) crashed: Vec<Option<Time>>,
+    suspects: Vec<u64>,
+    cancelled_timers: BTreeSet<u64>,
+    next_timer: u64,
+    rngs: Vec<SmallRng>,
+    pub(crate) outputs: Vec<(Time, Pid, O)>,
+    pub(crate) stats: NetStats,
+}
+
+impl<M: Message, C, O> Kernel<M, C, O> {
+    pub(crate) fn new(n: usize, params: NetParams, seed: u64) -> Self {
+        assert!(n >= 1 && n <= 64, "n must be in 1..=64");
+        Kernel {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            n,
+            params,
+            cpus: (0..n).map(|_| Cpu::new()).collect(),
+            net: NetRes::new(),
+            crashed: vec![None; n],
+            suspects: vec![0; n],
+            cancelled_timers: BTreeSet::new(),
+            next_timer: 0,
+            rngs: (0..n).map(|i| stream_rng(seed, 0x5EED_0000 + i as u64)).collect(),
+            outputs: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn schedule(&mut self, at: Time, ev: Ev<M, C>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq: self.seq, ev });
+    }
+
+    pub(crate) fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<M, C>> {
+        self.queue.pop()
+    }
+
+    pub(crate) fn is_crashed(&self, p: Pid) -> bool {
+        self.crashed[p.index()].is_some()
+    }
+
+    pub(crate) fn suspect_mask(&self, p: Pid) -> u64 {
+        self.suspects[p.index()]
+    }
+
+    /// Applies an FD edge to the suspect mask of `at`; returns `false`
+    /// if the edge is redundant (already in that state) and should not
+    /// be delivered to the process.
+    pub(crate) fn fd_apply(&mut self, at: Pid, ev: FdEvent) -> bool {
+        let mask = &mut self.suspects[at.index()];
+        let bit = 1u64 << ev.subject().index();
+        match ev {
+            FdEvent::Suspect(_) => {
+                if *mask & bit != 0 {
+                    return false;
+                }
+                *mask |= bit;
+            }
+            FdEvent::Trust(_) => {
+                if *mask & bit == 0 {
+                    return false;
+                }
+                *mask &= !bit;
+            }
+        }
+        true
+    }
+
+    /// Hands a message to the sending host's CPU, possibly coalescing
+    /// it with the message at the tail of the send queue.
+    pub(crate) fn send_from(&mut self, from: Pid, dests: DestSet, msg: M) {
+        if dests.is_empty() {
+            return;
+        }
+        let cpu = &mut self.cpus[from.index()];
+        if self.params.coalescing() {
+            if let Some(CpuJob::Send(tail)) = cpu.queue.back_mut() {
+                if tail.dests == dests && tail.msg.try_merge(&msg) {
+                    self.stats.merges += 1;
+                    return;
+                }
+            }
+        }
+        cpu.queue.push_back(CpuJob::Send(SendJob { from, dests, msg }));
+        if !cpu.busy() {
+            self.start_cpu(from);
+        }
+    }
+
+    fn start_cpu(&mut self, host: Pid) {
+        let cpu = &mut self.cpus[host.index()];
+        debug_assert!(!cpu.busy());
+        if let Some(job) = cpu.queue.pop_front() {
+            cpu.in_service = Some(job);
+            let done_at = self.now + self.params.cpu_delay();
+            self.schedule(done_at, Ev::CpuDone { at: host });
+        }
+    }
+
+    pub(crate) fn cpu_done(&mut self, host: Pid) {
+        self.stats.cpu_busy += self.params.cpu_delay();
+        let job = self.cpus[host.index()]
+            .in_service
+            .take()
+            .expect("CpuDone for an idle CPU");
+        match job {
+            CpuJob::Send(send) => self.net_enqueue(send),
+            CpuJob::Recv { from, msg } => {
+                // Software-crash semantics: reception processing still
+                // happens, but nothing reaches a crashed process.
+                if self.is_crashed(host) {
+                    self.stats.dropped_to_crashed += 1;
+                } else {
+                    self.schedule(self.now, Ev::Deliver { to: host, from, msg });
+                }
+            }
+        }
+        if !self.cpus[host.index()].queue.is_empty() {
+            self.start_cpu(host);
+        }
+    }
+
+    fn net_enqueue(&mut self, job: SendJob<M>) {
+        if self.net.busy() {
+            self.net.queue.push_back(job);
+        } else {
+            self.start_net(job);
+        }
+    }
+
+    fn start_net(&mut self, job: SendJob<M>) {
+        debug_assert!(!self.net.busy());
+        self.net.in_service = Some(job);
+        let done_at = self.now + self.params.net_delay();
+        self.schedule(done_at, Ev::NetDone);
+    }
+
+    pub(crate) fn net_done(&mut self) {
+        self.stats.net_busy += self.params.net_delay();
+        self.stats.wire_messages += 1;
+        let job = self.net.in_service.take().expect("NetDone for an idle network");
+        for dest in job.dests.iter() {
+            let cpu = &mut self.cpus[dest.index()];
+            cpu.queue.push_back(CpuJob::Recv { from: job.from, msg: job.msg.clone() });
+            if !cpu.busy() {
+                self.start_cpu(dest);
+            }
+        }
+        if let Some(next) = self.net.queue.pop_front() {
+            self.start_net(next);
+        }
+    }
+
+    pub(crate) fn crash(&mut self, p: Pid) {
+        if self.crashed[p.index()].is_none() {
+            self.crashed[p.index()] = Some(self.now);
+        }
+    }
+
+    pub(crate) fn timer_fires(&mut self, id: TimerId) -> bool {
+        !self.cancelled_timers.remove(&id.0)
+    }
+}
+
+/// The [`Ctx`] implementation backed by the simulation kernel.
+pub(crate) struct SimCtx<'a, M: Message, C, O> {
+    pub(crate) kernel: &'a mut Kernel<M, C, O>,
+    pub(crate) pid: Pid,
+}
+
+impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
+    fn now(&self) -> Time {
+        self.kernel.now
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.kernel.n
+    }
+
+    fn send(&mut self, to: Pid, msg: M) {
+        self.kernel.stats.send_calls += 1;
+        if to == self.pid {
+            self.kernel.stats.self_deliveries += 1;
+            let now = self.kernel.now;
+            self.kernel.schedule(now, Ev::Deliver { to, from: self.pid, msg });
+        } else {
+            let mut dests = DestSet::default();
+            dests.insert(to);
+            self.kernel.send_from(self.pid, dests, msg);
+        }
+    }
+
+    fn multicast(&mut self, dests: &[Pid], msg: M) {
+        self.kernel.stats.send_calls += 1;
+        let mut remote = DestSet::default();
+        let mut to_self = false;
+        for &d in dests {
+            if d == self.pid {
+                to_self = true;
+            } else {
+                remote.insert(d);
+            }
+        }
+        if to_self {
+            self.kernel.stats.self_deliveries += 1;
+            let now = self.kernel.now;
+            self.kernel.schedule(now, Ev::Deliver { to: self.pid, from: self.pid, msg: msg.clone() });
+        }
+        self.kernel.send_from(self.pid, remote, msg);
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        let all: Vec<Pid> = Pid::all(self.kernel.n).collect();
+        self.multicast(&all, msg);
+    }
+
+    fn set_timer(&mut self, after: Dur, tag: u64) -> TimerId {
+        self.kernel.next_timer += 1;
+        let id = TimerId(self.kernel.next_timer);
+        let at = self.kernel.now + after;
+        self.kernel.schedule(at, Ev::Timer { at: self.pid, id, tag });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.kernel.cancelled_timers.insert(id.0);
+    }
+
+    fn emit(&mut self, out: O) {
+        let now = self.kernel.now;
+        self.kernel.outputs.push((now, self.pid, out));
+    }
+
+    fn is_suspected(&self, p: Pid) -> bool {
+        self.kernel.suspects[self.pid.index()] & (1 << p.index()) != 0
+    }
+
+    fn rng(&mut self) -> &mut dyn RngCore {
+        &mut self.kernel.rngs[self.pid.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type K = Kernel<u64, (), ()>;
+
+    #[test]
+    fn scheduled_orders_by_time_then_seq() {
+        let mut k: K = Kernel::new(2, NetParams::default(), 1);
+        k.schedule(Time::from_millis(5), Ev::NetDone);
+        k.schedule(Time::from_millis(1), Ev::NetDone);
+        k.schedule(Time::from_millis(1), Ev::CpuDone { at: Pid::new(0) });
+        let a = k.pop().unwrap();
+        let b = k.pop().unwrap();
+        let c = k.pop().unwrap();
+        assert_eq!(a.at, Time::from_millis(1));
+        assert!(matches!(a.ev, Ev::NetDone)); // inserted first among ties
+        assert_eq!(b.at, Time::from_millis(1));
+        assert!(matches!(b.ev, Ev::CpuDone { .. }));
+        assert_eq!(c.at, Time::from_millis(5));
+    }
+
+    #[test]
+    fn fd_apply_dedups_edges() {
+        let mut k: K = Kernel::new(3, NetParams::default(), 1);
+        let p0 = Pid::new(0);
+        let p1 = Pid::new(1);
+        assert!(k.fd_apply(p0, FdEvent::Suspect(p1)));
+        assert!(!k.fd_apply(p0, FdEvent::Suspect(p1)));
+        assert_eq!(k.suspect_mask(p0), 0b10);
+        assert!(k.fd_apply(p0, FdEvent::Trust(p1)));
+        assert!(!k.fd_apply(p0, FdEvent::Trust(p1)));
+        assert_eq!(k.suspect_mask(p0), 0);
+    }
+
+    #[test]
+    fn crash_records_first_time_only() {
+        let mut k: K = Kernel::new(2, NetParams::default(), 1);
+        k.now = Time::from_millis(3);
+        k.crash(Pid::new(1));
+        k.now = Time::from_millis(9);
+        k.crash(Pid::new(1));
+        assert_eq!(k.crashed[1], Some(Time::from_millis(3)));
+        assert!(k.is_crashed(Pid::new(1)));
+        assert!(!k.is_crashed(Pid::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=64")]
+    fn zero_processes_rejected() {
+        let _: K = Kernel::new(0, NetParams::default(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! The contention-aware network model of Urbán, Défago and Schiper
+//! (IC3N 2000), used by the paper for all its results.
+//!
+//! Two kinds of resources appear in the model:
+//!
+//! * one **CPU** resource per host, representing the network
+//!   controllers and the networking stack: a message occupies the
+//!   sender's CPU for `λ` time units on emission and the receiver's
+//!   CPU for `λ` time units on reception;
+//! * one shared **network** resource, representing the transmission
+//!   medium: each message occupies it for 1 time unit, and a
+//!   *multicast occupies it only once* (Ethernet-style).
+//!
+//! A message waits in a FIFO queue in front of each busy resource.
+//! The cost of running the algorithm itself is neglected, as in the
+//! paper. The paper's presented results use a time unit of 1 ms and
+//! `λ = 1`.
+
+use std::collections::VecDeque;
+
+use crate::process::{DestSet, Pid};
+use crate::time::Dur;
+
+/// Parameters of the network model.
+///
+/// ```
+/// use neko::{Dur, NetParams};
+///
+/// let p = NetParams::default();
+/// assert_eq!(p.net_delay(), Dur::from_millis(1));
+/// assert_eq!(p.cpu_delay(), Dur::from_millis(1)); // λ = 1
+/// let fast_hosts = NetParams::default().with_lambda(0.1);
+/// assert_eq!(fast_hosts.cpu_delay(), Dur::from_micros(100));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetParams {
+    net_delay: Dur,
+    lambda: f64,
+    coalesce: bool,
+}
+
+impl NetParams {
+    /// The paper's configuration: network time unit 1 ms, `λ = 1`,
+    /// message coalescing enabled.
+    pub fn new() -> Self {
+        NetParams { net_delay: Dur::from_millis(1), lambda: 1.0, coalesce: true }
+    }
+
+    /// Sets the network occupancy per message (the model's time unit).
+    pub fn with_net_delay(mut self, d: Dur) -> Self {
+        self.net_delay = d;
+        self
+    }
+
+    /// Sets `λ`, the CPU cost of sending or receiving one message
+    /// relative to the network time unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and non-negative");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Enables or disables message coalescing (see
+    /// [`crate::Message::try_merge`]). Disabling it is only useful for
+    /// ablation studies.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// The network occupancy per message.
+    pub fn net_delay(&self) -> Dur {
+        self.net_delay
+    }
+
+    /// `λ` as configured.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The CPU occupancy per message emission or reception
+    /// (`λ ×` [`net_delay`](Self::net_delay)).
+    pub fn cpu_delay(&self) -> Dur {
+        self.net_delay.mul_f64(self.lambda)
+    }
+
+    /// Whether message coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A message travelling from `from` to the destination set `dests`.
+#[derive(Clone, Debug)]
+pub(crate) struct SendJob<M> {
+    pub(crate) from: Pid,
+    pub(crate) dests: DestSet,
+    pub(crate) msg: M,
+}
+
+/// Work queued on a host CPU: either emitting or receiving a message.
+#[derive(Clone, Debug)]
+pub(crate) enum CpuJob<M> {
+    Send(SendJob<M>),
+    Recv { from: Pid, msg: M },
+}
+
+/// One host CPU: a single server with a FIFO queue shared by
+/// emissions and receptions.
+#[derive(Debug)]
+pub(crate) struct Cpu<M> {
+    pub(crate) queue: VecDeque<CpuJob<M>>,
+    pub(crate) in_service: Option<CpuJob<M>>,
+}
+
+impl<M> Cpu<M> {
+    pub(crate) fn new() -> Self {
+        Cpu { queue: VecDeque::new(), in_service: None }
+    }
+
+    pub(crate) fn busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+}
+
+/// The shared network: a single server with a FIFO queue.
+#[derive(Debug)]
+pub(crate) struct NetRes<M> {
+    pub(crate) queue: VecDeque<SendJob<M>>,
+    pub(crate) in_service: Option<SendJob<M>>,
+}
+
+impl<M> NetRes<M> {
+    pub(crate) fn new() -> Self {
+        NetRes { queue: VecDeque::new(), in_service: None }
+    }
+
+    pub(crate) fn busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+}
+
+/// Counters describing what the network model did during a run.
+///
+/// `wire_messages` counts messages that crossed the shared medium
+/// (a multicast counts once); `deliveries` counts hand-offs to
+/// [`crate::Process::on_message`] (a multicast to `k` live remote
+/// destinations counts `k` times).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub struct NetStats {
+    /// Application-level `send`/`multicast`/`broadcast` calls.
+    pub send_calls: u64,
+    /// Messages that completed transmission on the shared network.
+    pub wire_messages: u64,
+    /// Messages delivered to processes (including self-deliveries).
+    pub deliveries: u64,
+    /// Local copies delivered without using CPU or network.
+    pub self_deliveries: u64,
+    /// Messages absorbed into a queued message by coalescing.
+    pub merges: u64,
+    /// Messages dropped because their destination had crashed.
+    pub dropped_to_crashed: u64,
+    /// Total time the shared network was busy (µs accumulated).
+    pub net_busy: Dur,
+    /// Total CPU busy time summed over all hosts.
+    pub cpu_busy: Dur,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_defaults_match_paper() {
+        let p = NetParams::default();
+        assert_eq!(p.net_delay(), Dur::from_millis(1));
+        assert_eq!(p.lambda(), 1.0);
+        assert_eq!(p.cpu_delay(), Dur::from_millis(1));
+        assert!(p.coalescing());
+    }
+
+    #[test]
+    fn lambda_scales_cpu_delay() {
+        let p = NetParams::default().with_lambda(2.5);
+        assert_eq!(p.cpu_delay(), Dur::from_micros(2_500));
+        let p0 = NetParams::default().with_lambda(0.0);
+        assert_eq!(p0.cpu_delay(), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_panics() {
+        let _ = NetParams::default().with_lambda(-1.0);
+    }
+
+    #[test]
+    fn resources_start_idle() {
+        let cpu: Cpu<u64> = Cpu::new();
+        assert!(!cpu.busy());
+        let net: NetRes<u64> = NetRes::new();
+        assert!(!net.busy());
+    }
+}

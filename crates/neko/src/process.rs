@@ -1,0 +1,259 @@
+//! The programming model: processes, messages and the context through
+//! which a process acts on the world.
+//!
+//! Protocol stacks implement [`Process`]; the same implementation runs
+//! unchanged on the discrete-event simulator ([`crate::Sim`]) and on
+//! the thread-based real-time runtime ([`crate::RealCluster`]) — this
+//! mirrors the Neko framework the paper used.
+
+use core::fmt;
+
+use rand::RngCore;
+
+use crate::time::{Dur, Time};
+
+/// Identifier of a process in a system of `n` processes.
+///
+/// Internally 0-based; displayed 1-based (`p1`, `p2`, …) to match the
+/// paper's figures.
+///
+/// ```
+/// use neko::Pid;
+///
+/// let p = Pid::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates the pid with 0-based index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`; the engine supports at most 64
+    /// processes (destination sets are bit masks).
+    pub fn new(index: usize) -> Self {
+        assert!(index < 64, "at most 64 processes are supported");
+        Pid(index as u32)
+    }
+
+    /// The 0-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the pids `p1 … pn` of a system of `n` processes.
+    pub fn all(n: usize) -> impl Iterator<Item = Pid> + Clone {
+        (0..n).map(Pid::new)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// An edge reported by a failure detector to the process it serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FdEvent {
+    /// The detector started suspecting `Pid` to have crashed.
+    Suspect(Pid),
+    /// The detector stopped suspecting `Pid` (it corrected a mistake).
+    Trust(Pid),
+}
+
+impl FdEvent {
+    /// The process the event is about.
+    pub fn subject(self) -> Pid {
+        match self {
+            FdEvent::Suspect(p) | FdEvent::Trust(p) => p,
+        }
+    }
+}
+
+/// A protocol message.
+///
+/// [`Message::try_merge`] implements *message packing*: when a message
+/// is still queued at the sending host's CPU (i.e. not yet being
+/// processed) and a new message with the same destinations is sent,
+/// the engine offers the new one to the queued one. Protocols use this
+/// for the paper's "seqnum, ack and deliver messages can carry several
+/// sequence numbers", which is essential for good performance under
+/// high load.
+pub trait Message: Clone + fmt::Debug + 'static {
+    /// Attempts to absorb `other` into `self`, returning `true` on
+    /// success. The default never merges.
+    ///
+    /// Implementations must preserve the *content* of both messages
+    /// (e.g. concatenate the carried sequence numbers); the engine
+    /// then transmits the merged message once.
+    fn try_merge(&mut self, other: &Self) -> bool {
+        let _ = other;
+        false
+    }
+}
+
+impl Message for () {}
+impl Message for u64 {}
+impl Message for String {}
+impl Message for &'static str {}
+
+/// Handle to a pending timer, returned by [`Ctx::set_timer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// The interface through which a process observes and acts on its
+/// environment. Implemented by both the simulator and the real-time
+/// runtime.
+pub trait Ctx<M: Message, O> {
+    /// The current (simulated or real) time.
+    fn now(&self) -> Time;
+    /// This process's identifier.
+    fn pid(&self) -> Pid;
+    /// The total number of processes in the system.
+    fn n(&self) -> usize;
+    /// Sends `msg` to `to`. A message to `self` is delivered locally
+    /// without occupying the CPU or the network.
+    fn send(&mut self, to: Pid, msg: M);
+    /// Sends `msg` to every process in `dests` (local copy, if any, is
+    /// free; remote copies occupy the sender CPU once and the network
+    /// once — a true multicast).
+    fn multicast(&mut self, dests: &[Pid], msg: M);
+    /// Sends `msg` to all `n` processes including the caller.
+    fn broadcast(&mut self, msg: M);
+    /// Arms a timer that fires `after` from now, delivering `tag` to
+    /// [`Process::on_timer`].
+    fn set_timer(&mut self, after: Dur, tag: u64) -> TimerId;
+    /// Cancels a pending timer. Cancelling an already-fired timer is
+    /// a no-op.
+    fn cancel_timer(&mut self, id: TimerId);
+    /// Emits an observable output (e.g. an A-deliver event) to the
+    /// experiment harness.
+    fn emit(&mut self, out: O);
+    /// Queries the local failure detector: is `p` currently suspected?
+    fn is_suspected(&self, p: Pid) -> bool;
+    /// This process's private random-number generator.
+    fn rng(&mut self) -> &mut dyn RngCore;
+}
+
+/// An event-driven process (a whole protocol stack on one host).
+///
+/// All methods receive a [`Ctx`] through which the process sends
+/// messages, arms timers and emits outputs. The engine guarantees that
+/// calls on one process never overlap.
+pub trait Process: Sized + 'static {
+    /// The message type exchanged between the `n` replicas of this
+    /// process.
+    type Msg: Message;
+    /// External commands injected by the driver (e.g. "A-broadcast this
+    /// payload").
+    type Cmd: fmt::Debug + 'static;
+    /// Observable outputs (e.g. "A-delivered this payload").
+    type Out: fmt::Debug + 'static;
+
+    /// Invoked once at time zero, before any other event.
+    fn on_start(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when the driver injects a command for this process.
+    fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: Self::Cmd);
+
+    /// Invoked when a message from `from` is delivered to this process.
+    fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg);
+
+    /// Invoked when the local failure detector changes its mind about
+    /// some process. The suspect set visible through
+    /// [`Ctx::is_suspected`] is updated *before* this call.
+    fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
+        let _ = (ctx, ev);
+    }
+
+    /// Invoked when a timer armed with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
+        let _ = (ctx, id, tag);
+    }
+}
+
+/// A set of destination processes, stored as a bit mask (hence the
+/// 64-process limit).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub(crate) struct DestSet(pub(crate) u64);
+
+impl DestSet {
+    pub(crate) fn insert(&mut self, p: Pid) {
+        self.0 |= 1 << p.index();
+    }
+
+    pub(crate) fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub(crate) fn iter(self) -> impl Iterator<Item = Pid> {
+        (0..64).filter(move |i| self.0 & (1 << i) != 0).map(Pid::new)
+    }
+}
+
+impl fmt::Debug for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display_is_one_based() {
+        assert_eq!(Pid::new(0).to_string(), "p1");
+        assert_eq!(format!("{:?}", Pid::new(6)), "p7");
+        assert_eq!(Pid::new(3).index(), 3);
+    }
+
+    #[test]
+    fn pid_all_enumerates() {
+        let v: Vec<_> = Pid::all(3).collect();
+        assert_eq!(v, vec![Pid::new(0), Pid::new(1), Pid::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn pid_out_of_range_panics() {
+        let _ = Pid::new(64);
+    }
+
+    #[test]
+    fn fd_event_subject() {
+        assert_eq!(FdEvent::Suspect(Pid::new(1)).subject(), Pid::new(1));
+        assert_eq!(FdEvent::Trust(Pid::new(2)).subject(), Pid::new(2));
+    }
+
+    #[test]
+    fn dest_set_roundtrip() {
+        let mut s = DestSet::default();
+        assert!(s.is_empty());
+        s.insert(Pid::new(0));
+        s.insert(Pid::new(5));
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![Pid::new(0), Pid::new(5)]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn default_message_never_merges() {
+        let mut a = 1u64;
+        assert!(!Message::try_merge(&mut a, &2u64));
+    }
+}

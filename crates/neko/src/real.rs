@@ -1,0 +1,479 @@
+//! A thread-based *real-time* runtime for the same [`Process`]
+//! implementations that run on the simulator.
+//!
+//! Like the paper's Neko framework, the point is that algorithm code
+//! is written once and can be exercised both in simulation (fast,
+//! deterministic, contention-modelled) and for real (threads and
+//! channels, wall-clock time, a heartbeat failure detector). The real
+//! runtime is meant for prototyping and end-to-end sanity tests, not
+//! for performance measurements.
+//!
+//! Differences from the simulator, by necessity:
+//!
+//! * message latency is whatever the OS scheduler gives us — there is
+//!   no contention model;
+//! * failure detection is an actual push-style heartbeat detector
+//!   parameterised by a period and a timeout (see
+//!   [`RealConfig::heartbeat`]);
+//! * a crash stops the process thread between two handler invocations,
+//!   so (unlike in the simulator) a logical multicast — which is a
+//!   loop of channel sends — is atomic here as well; genuinely partial
+//!   multicasts can be exercised with the pure state machines
+//!   directly.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
+use crate::rng::stream_rng;
+use crate::time::{Dur, Time};
+
+/// Configuration of a real-time run.
+#[derive(Clone, Debug)]
+pub struct RealConfig {
+    hb_period: Duration,
+    hb_timeout: Duration,
+    duration: Duration,
+    seed: u64,
+}
+
+impl RealConfig {
+    /// A configuration that runs for `duration` with a 5 ms heartbeat
+    /// period and a 100 ms suspicion timeout.
+    pub fn new(duration: Duration) -> Self {
+        RealConfig {
+            hb_period: Duration::from_millis(5),
+            hb_timeout: Duration::from_millis(100),
+            duration,
+            seed: 0,
+        }
+    }
+
+    /// Sets the heartbeat period and the timeout after which a silent
+    /// peer is suspected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout <= period` (such a detector would suspect
+    /// everyone constantly).
+    pub fn heartbeat(mut self, period: Duration, timeout: Duration) -> Self {
+        assert!(timeout > period, "heartbeat timeout must exceed the period");
+        self.hb_period = period;
+        self.hb_timeout = timeout;
+        self
+    }
+
+    /// Sets the master seed for the per-process RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// External stimuli for a real-time run: commands and crashes, at
+/// offsets from the start.
+#[derive(Clone, Debug, Default)]
+pub struct RealSchedule<C> {
+    commands: Vec<(Duration, Pid, C)>,
+    crashes: Vec<(Duration, Pid)>,
+}
+
+impl<C> RealSchedule<C> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        RealSchedule { commands: Vec::new(), crashes: Vec::new() }
+    }
+
+    /// Injects `cmd` into `to` at `offset` from the start.
+    pub fn command(mut self, offset: Duration, to: Pid, cmd: C) -> Self {
+        self.commands.push((offset, to, cmd));
+        self
+    }
+
+    /// Crashes `p` at `offset` from the start.
+    pub fn crash(mut self, offset: Duration, p: Pid) -> Self {
+        self.crashes.push((offset, p));
+        self
+    }
+}
+
+/// What a real-time run produced.
+#[derive(Debug)]
+pub struct RealReport<O> {
+    /// All outputs emitted by all processes, ordered by time.
+    pub outputs: Vec<(Time, Pid, O)>,
+}
+
+enum Env<M, C> {
+    App { from: Pid, msg: M },
+    Hb { from: Pid },
+    Cmd(C),
+    Crash,
+    Stop,
+}
+
+/// Runs `n` copies of a process on OS threads for the configured
+/// duration and returns everything they emitted.
+///
+/// Commands and crashes are injected according to `schedule`. The
+/// function blocks until all process threads have stopped.
+pub fn run_real<P>(
+    n: usize,
+    config: RealConfig,
+    mut factory: impl FnMut(Pid) -> P,
+    schedule: RealSchedule<P::Cmd>,
+) -> RealReport<P::Out>
+where
+    P: Process + Send,
+    P::Msg: Send,
+    P::Cmd: Send,
+    P::Out: Send,
+{
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..n).map(|_| unbounded::<Env<P::Msg, P::Cmd>>()).unzip();
+    let outputs: Arc<Mutex<Vec<(Time, Pid, P::Out)>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now() + Duration::from_millis(10); // let all threads come up
+
+    let mut handles = Vec::new();
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let pid = Pid::new(i);
+        let proc = factory(pid);
+        let peers = senders.clone();
+        let outputs = Arc::clone(&outputs);
+        let config = config.clone();
+        handles.push(thread::spawn(move || {
+            shell(pid, n, proc, rx, peers, outputs, config, start);
+        }));
+    }
+
+    // Drive the schedule from this thread.
+    let mut stimuli: Vec<(Duration, usize, Option<P::Cmd>)> = Vec::new();
+    for (off, to, cmd) in schedule.commands {
+        stimuli.push((off, to.index(), Some(cmd)));
+    }
+    for (off, p) in schedule.crashes {
+        stimuli.push((off, p.index(), None));
+    }
+    stimuli.sort_by_key(|(off, ..)| *off);
+    for (off, idx, cmd) in stimuli {
+        let fire_at = start + off;
+        if let Some(wait) = fire_at.checked_duration_since(Instant::now()) {
+            thread::sleep(wait);
+        }
+        let env = match cmd {
+            Some(c) => Env::Cmd(c),
+            None => Env::Crash,
+        };
+        let _ = senders[idx].send(env);
+    }
+
+    let end_at = start + config.duration;
+    if let Some(wait) = end_at.checked_duration_since(Instant::now()) {
+        thread::sleep(wait);
+    }
+    for tx in &senders {
+        let _ = tx.send(Env::Stop);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut out = Arc::try_unwrap(outputs)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().drain(..).collect());
+    out.sort_by_key(|(t, p, _)| (*t, p.index()));
+    RealReport { outputs: out }
+}
+
+struct PendingTimer {
+    fire_at: Instant,
+    id: TimerId,
+    tag: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at == other.fire_at && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: earliest deadline pops first.
+        (other.fire_at, other.id).cmp(&(self.fire_at, self.id))
+    }
+}
+
+struct RealCtx<'a, M: Message, C, O> {
+    pid: Pid,
+    n: usize,
+    start: Instant,
+    peers: &'a [Sender<Env<M, C>>],
+    local: &'a mut Vec<(Pid, M)>,
+    timers: &'a mut BinaryHeap<PendingTimer>,
+    cancelled: &'a mut Vec<u64>,
+    next_timer: &'a mut u64,
+    outputs: &'a Mutex<Vec<(Time, Pid, O)>>,
+    suspects: &'a [bool],
+    rng: &'a mut rand::rngs::SmallRng,
+}
+
+impl<M: Message, C, O> RealCtx<'_, M, C, O> {
+    fn wall_now(&self) -> Time {
+        Time::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+impl<M: Message, C, O> Ctx<M, O> for RealCtx<'_, M, C, O> {
+    fn now(&self) -> Time {
+        self.wall_now()
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: Pid, msg: M) {
+        if to == self.pid {
+            self.local.push((self.pid, msg));
+        } else {
+            let _ = self.peers[to.index()].send(Env::App { from: self.pid, msg });
+        }
+    }
+
+    fn multicast(&mut self, dests: &[Pid], msg: M) {
+        for &d in dests {
+            self.send(d, msg.clone());
+        }
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        let all: Vec<Pid> = Pid::all(self.n).collect();
+        self.multicast(&all, msg);
+    }
+
+    fn set_timer(&mut self, after: Dur, tag: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        let fire_at = Instant::now() + Duration::from_micros(after.as_micros());
+        self.timers.push(PendingTimer { fire_at, id, tag });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.push(id.0);
+    }
+
+    fn emit(&mut self, out: O) {
+        let now = self.wall_now();
+        self.outputs.lock().push((now, self.pid, out));
+    }
+
+    fn is_suspected(&self, p: Pid) -> bool {
+        self.suspects[p.index()]
+    }
+
+    fn rng(&mut self) -> &mut dyn rand::RngCore {
+        self.rng
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shell<P>(
+    pid: Pid,
+    n: usize,
+    mut proc: P,
+    rx: Receiver<Env<P::Msg, P::Cmd>>,
+    peers: Vec<Sender<Env<P::Msg, P::Cmd>>>,
+    outputs: Arc<Mutex<Vec<(Time, Pid, P::Out)>>>,
+    config: RealConfig,
+    start: Instant,
+) where
+    P: Process + Send,
+    P::Msg: Send,
+{
+    let mut local: Vec<(Pid, P::Msg)> = Vec::new();
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut cancelled: Vec<u64> = Vec::new();
+    let mut next_timer: u64 = 0;
+    let mut suspects = vec![false; n];
+    let mut last_hb = vec![Instant::now(); n];
+    let mut rng = stream_rng(config.seed, 0x4EA1_0000 + pid.index() as u64);
+    let mut next_hb = start;
+
+    if let Some(wait) = start.checked_duration_since(Instant::now()) {
+        thread::sleep(wait);
+    }
+
+    macro_rules! ctx {
+        () => {
+            RealCtx {
+                pid,
+                n,
+                start,
+                peers: &peers,
+                local: &mut local,
+                timers: &mut timers,
+                cancelled: &mut cancelled,
+                next_timer: &mut next_timer,
+                outputs: &outputs,
+                suspects: &suspects,
+                rng: &mut rng,
+            }
+        };
+    }
+
+    proc.on_start(&mut ctx!());
+
+    loop {
+        // Self-sends are handled before anything else, in order.
+        while let Some((from, msg)) = if local.is_empty() { None } else { Some(local.remove(0)) } {
+            proc.on_message(&mut ctx!(), from, msg);
+        }
+
+        // Fire due timers.
+        let now = Instant::now();
+        while timers.peek().is_some_and(|t| t.fire_at <= now) {
+            let t = timers.pop().expect("peeked timer vanished");
+            if let Some(i) = cancelled.iter().position(|&c| c == t.id.0) {
+                cancelled.swap_remove(i);
+                continue;
+            }
+            proc.on_timer(&mut ctx!(), t.id, t.tag);
+        }
+
+        // Heartbeats: send ours, check peers.
+        let now = Instant::now();
+        if now >= next_hb {
+            for (i, tx) in peers.iter().enumerate() {
+                if i != pid.index() {
+                    let _ = tx.send(Env::Hb { from: pid });
+                }
+            }
+            next_hb = now + config.hb_period;
+        }
+        for i in 0..n {
+            if i == pid.index() {
+                continue;
+            }
+            let p = Pid::new(i);
+            if !suspects[i] && now.duration_since(last_hb[i]) > config.hb_timeout {
+                suspects[i] = true;
+                proc.on_fd(&mut ctx!(), FdEvent::Suspect(p));
+            }
+        }
+
+        // Wait for the next message or deadline.
+        let mut deadline = next_hb;
+        if let Some(t) = timers.peek() {
+            deadline = deadline.min(t.fire_at);
+        }
+        let timeout = deadline.saturating_duration_since(Instant::now()).min(config.hb_period);
+        match rx.recv_timeout(timeout.max(Duration::from_micros(200))) {
+            Ok(Env::App { from, msg }) => proc.on_message(&mut ctx!(), from, msg),
+            Ok(Env::Hb { from }) => {
+                last_hb[from.index()] = Instant::now();
+                if suspects[from.index()] {
+                    suspects[from.index()] = false;
+                    proc.on_fd(&mut ctx!(), FdEvent::Trust(from));
+                }
+            }
+            Ok(Env::Cmd(cmd)) => proc.on_command(&mut ctx!(), cmd),
+            Ok(Env::Crash) | Ok(Env::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Broadcasts each command; emits every received value.
+    struct Echo;
+    impl Process for Echo {
+        type Msg = u64;
+        type Cmd = u64;
+        type Out = u64;
+        fn on_command(&mut self, ctx: &mut dyn Ctx<u64, u64>, cmd: u64) {
+            ctx.broadcast(cmd);
+        }
+        fn on_message(&mut self, ctx: &mut dyn Ctx<u64, u64>, _from: Pid, msg: u64) {
+            ctx.emit(msg);
+        }
+    }
+
+    /// Emits `100 + suspected.index()` on each suspicion edge.
+    struct FdWatch;
+    impl Process for FdWatch {
+        type Msg = ();
+        type Cmd = ();
+        type Out = u64;
+        fn on_command(&mut self, _ctx: &mut dyn Ctx<(), u64>, _cmd: ()) {}
+        fn on_message(&mut self, _ctx: &mut dyn Ctx<(), u64>, _from: Pid, _msg: ()) {}
+        fn on_fd(&mut self, ctx: &mut dyn Ctx<(), u64>, ev: FdEvent) {
+            if let FdEvent::Suspect(p) = ev {
+                ctx.emit(100 + p.index() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_thread() {
+        let report = run_real(
+            3,
+            RealConfig::new(Duration::from_millis(250)),
+            |_| Echo,
+            RealSchedule::new().command(Duration::from_millis(20), Pid::new(1), 42),
+        );
+        let values: Vec<u64> = report.outputs.iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(values, vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn heartbeat_detector_suspects_crashed_process() {
+        let report = run_real(
+            3,
+            RealConfig::new(Duration::from_millis(400))
+                .heartbeat(Duration::from_millis(5), Duration::from_millis(60)),
+            |_| FdWatch,
+            RealSchedule::new().crash(Duration::from_millis(50), Pid::new(2)),
+        );
+        // Both survivors eventually suspect p3 (emitting 102).
+        let suspecters: Vec<Pid> = report
+            .outputs
+            .iter()
+            .filter(|(_, _, v)| *v == 102)
+            .map(|(_, p, _)| *p)
+            .collect();
+        assert!(suspecters.contains(&Pid::new(0)), "{report:?}");
+        assert!(suspecters.contains(&Pid::new(1)), "{report:?}");
+    }
+
+    #[test]
+    fn healthy_run_has_no_suspicions() {
+        let report = run_real(
+            3,
+            RealConfig::new(Duration::from_millis(300))
+                .heartbeat(Duration::from_millis(5), Duration::from_millis(150)),
+            |_| FdWatch,
+            RealSchedule::new(),
+        );
+        assert!(report.outputs.is_empty(), "{report:?}");
+    }
+}

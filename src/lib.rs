@@ -1,0 +1,49 @@
+//! # atombench
+//!
+//! A reproduction of *“Comparison of Failure Detectors and Group
+//! Membership: Performance Study of Two Atomic Broadcast Algorithms”*
+//! (Urbán, Shnayderman, Schiper — DSN 2003).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`neko`] — deterministic discrete-event simulation engine with the
+//!   paper's contention-aware network model, plus a thread-based
+//!   real-time runtime.
+//! * [`fdet`] — failure-detector models driven by the QoS metrics of
+//!   Chen et al. (`T_D`, `T_MR`, `T_M`), and a heartbeat detector.
+//! * [`rbcast`] — lazy reliable broadcast.
+//! * [`consensus`] — Chandra–Toueg ♦S consensus.
+//! * [`membership`] — group membership with view synchrony.
+//! * [`abcast`] — the two atomic broadcast algorithms under study.
+//! * [`study`] — the benchmark methodology: scenarios, workloads,
+//!   latency statistics and the experiment runner.
+//!
+//! ## Quickstart
+//!
+//! Run a normal-steady experiment for both algorithms and print the
+//! mean latency:
+//!
+//! ```
+//! use study::{Algorithm, ScenarioSpec, run_replicated, RunParams};
+//! use neko::Dur;
+//!
+//! let params = RunParams::new(3, 100.0)
+//!     .with_measure(Dur::from_secs(1))
+//!     .with_replications(2);
+//! for alg in Algorithm::PAPER {
+//!     let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0xC0FFEE);
+//!     let lat = out.latency.expect("not saturated");
+//!     println!("{alg:?}: {:.2} ms mean latency", lat.mean());
+//! }
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/bench` for the
+//! figure-regeneration harnesses.
+
+pub use abcast;
+pub use consensus;
+pub use fdet;
+pub use membership;
+pub use neko;
+pub use rbcast;
+pub use study;

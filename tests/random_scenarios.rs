@@ -1,0 +1,98 @@
+//! Property-based end-to-end tests: random group sizes, loads, crash
+//! schedules and failure-detector QoS — uniform total order must hold
+//! for every algorithm, always.
+
+use abcast::{AbcastEvent, FdNode, GmNode, MsgId};
+use fdet::{QosParams, SuspectSet};
+use neko::{Dur, Pid, Process, Sim, SimBuilder, Time};
+use proptest::prelude::*;
+use study::poisson_arrivals;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    throughput: f64,
+    tmr_ms: u64,
+    tm_ms: u64,
+    crashes: usize,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..=7, 10f64..200.0, 50u64..5_000, 0u64..50, 0usize..=2, any::<u64>()).prop_map(
+        |(n, throughput, tmr_ms, tm_ms, crashes, seed)| Scenario {
+            n,
+            throughput,
+            tmr_ms,
+            tm_ms,
+            crashes: crashes.min((n - 1) / 2),
+            seed,
+        },
+    )
+}
+
+fn check<P>(mut sim: Sim<P>, sc: &Scenario, label: &str)
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    let horizon = Time::from_millis(1_500);
+    let qos = QosParams::new()
+        .with_mistake_recurrence(Dur::from_millis(sc.tmr_ms))
+        .with_mistake_duration(Dur::from_millis(sc.tm_ms));
+    sim.schedule_fd_plan(fdet::suspicion_steady_plan(sc.n, horizon, qos, sc.seed));
+    // Real crashes partway through, detected a constant T_D later.
+    let mut crashed = Vec::new();
+    for i in 0..sc.crashes {
+        let victim = Pid::new(sc.n - 1 - i);
+        let at = Time::from_millis(400 + 100 * i as u64);
+        sim.schedule_crash(at, victim);
+        sim.schedule_fd_plan(fdet::crash_transient_plan(sc.n, victim, at, Dur::from_millis(30)));
+        crashed.push(victim);
+    }
+    let senders: Vec<Pid> = Pid::all(sc.n).collect();
+    for (t, p, v) in poisson_arrivals(sc.n, sc.throughput, horizon, &senders, sc.seed) {
+        sim.schedule_command(t, p, v);
+    }
+    sim.run_until(horizon + Dur::from_secs(4));
+
+    let mut logs: Vec<Vec<(MsgId, u64)>> = vec![Vec::new(); sc.n];
+    for (_, p, ev) in sim.take_outputs() {
+        let AbcastEvent::Delivered { id, payload } = ev;
+        logs[p.index()].push((id, payload));
+    }
+    // Uniform total order: every log is a prefix of the longest one.
+    let longest = logs.iter().max_by_key(|l| l.len()).expect("nonempty").clone();
+    for (i, log) in logs.iter().enumerate() {
+        assert!(
+            longest.starts_with(log),
+            "{label} {sc:?}: p{}'s log is not a prefix",
+            i + 1
+        );
+    }
+    // Liveness: the correct processes delivered something.
+    for (i, log) in logs.iter().enumerate() {
+        if !crashed.contains(&Pid::new(i)) {
+            assert!(!log.is_empty(), "{label} {sc:?}: correct p{} delivered nothing", i + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fd_algorithm_is_uniform_under_random_chaos(sc in scenario()) {
+        let s = SuspectSet::new();
+        let n = sc.n;
+        let sim = SimBuilder::new(n).seed(sc.seed).build_with(|p| FdNode::<u64>::new(p, n, &s));
+        check(sim, &sc, "FD");
+    }
+
+    #[test]
+    fn gm_algorithm_is_uniform_under_random_chaos(sc in scenario()) {
+        let s = SuspectSet::new();
+        let n = sc.n;
+        let sim = SimBuilder::new(n).seed(sc.seed).build_with(|p| GmNode::<u64>::new(p, n, &s));
+        check(sim, &sc, "GM");
+    }
+}
