@@ -47,9 +47,18 @@ mod tests {
 
     #[test]
     fn msg_id_orders_by_origin_then_seq() {
-        let a = MsgId { origin: Pid::new(0), seq: 9 };
-        let b = MsgId { origin: Pid::new(1), seq: 0 };
-        let c = MsgId { origin: Pid::new(1), seq: 1 };
+        let a = MsgId {
+            origin: Pid::new(0),
+            seq: 9,
+        };
+        let b = MsgId {
+            origin: Pid::new(1),
+            seq: 0,
+        };
+        let c = MsgId {
+            origin: Pid::new(1),
+            seq: 1,
+        };
         assert!(a < b && b < c);
         assert_eq!(b.to_string(), "p2:0");
     }

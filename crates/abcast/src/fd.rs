@@ -26,7 +26,6 @@ use rbcast::{RbAction, RbMsg, ReliableBcast};
 
 use crate::common::{MsgId, Payload};
 
-
 /// A consensus proposal/decision: a batch of messages, tagged with its
 /// proposer for the renumbering optimisation.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,6 +66,9 @@ pub enum FdCastAction<P> {
     },
 }
 
+/// Consensus messages buffered for an instance not yet started.
+type FutureMsgs<P> = Vec<(Pid, ConsensusMsg<Batch<P>>)>;
+
 /// Per-process endpoint of the FD atomic broadcast algorithm.
 ///
 /// Pure state machine; the [`crate::FdNode`] shell adapts it to
@@ -84,7 +86,7 @@ pub struct FdAbcast<P: Payload> {
     k: u64,
     instances: BTreeMap<u64, Consensus<Batch<P>>>,
     decisions_ahead: BTreeMap<u64, Batch<P>>,
-    future: BTreeMap<u64, Vec<(Pid, ConsensusMsg<Batch<P>>)>>,
+    future: BTreeMap<u64, FutureMsgs<P>>,
     coord_first: Pid,
     suspects: SuspectSet,
 }
@@ -149,7 +151,10 @@ impl<P: Payload> FdAbcast<P> {
         // the message id, and is embedded in the payload so receivers
         // (and consensus batches) carry it around.
         let bid = self.rb.next_id();
-        let id = MsgId { origin: bid.origin, seq: bid.seq };
+        let id = MsgId {
+            origin: bid.origin,
+            seq: bid.seq,
+        };
         let mut rb_out = Vec::new();
         let assigned = self.rb.broadcast((id, payload), &mut rb_out);
         debug_assert_eq!(assigned, bid);
@@ -175,7 +180,9 @@ impl<P: Payload> FdAbcast<P> {
                 if k == self.k {
                     self.ensure_instance(out);
                 }
-                let Some(inst) = self.instances.get_mut(&k) else { return };
+                let Some(inst) = self.instances.get_mut(&k) else {
+                    return;
+                };
                 let mut cons_out = Vec::new();
                 inst.on_message(from, inner, &mut cons_out);
                 self.pump_cons(k, cons_out, out);
@@ -207,7 +214,9 @@ impl<P: Payload> FdAbcast<P> {
     fn map_rb(&mut self, rb_out: Vec<RbAction<(MsgId, P)>>, out: &mut Vec<FdCastAction<P>>) {
         for a in rb_out {
             match a {
-                RbAction::Deliver { payload: (id, p), .. } => {
+                RbAction::Deliver {
+                    payload: (id, p), ..
+                } => {
                     if !self.delivered.contains(&id) {
                         self.pending.insert(id, p);
                         self.ensure_instance(out);
@@ -232,13 +241,18 @@ impl<P: Payload> FdAbcast<P> {
             } else {
                 ConsensusConfig::ring(self.me, self.n)
             };
-            self.instances.insert(k, Consensus::new(cfg, &self.suspects));
+            self.instances
+                .insert(k, Consensus::new(cfg, &self.suspects));
         }
         // Propose our current pending batch (no-op if already
         // proposed; empty batches are valid when we were dragged in).
         let batch = Batch {
             proposer: self.me,
-            msgs: self.pending.iter().map(|(id, p)| (*id, p.clone())).collect(),
+            msgs: self
+                .pending
+                .iter()
+                .map(|(id, p)| (*id, p.clone()))
+                .collect(),
         };
         let mut cons_out = Vec::new();
         self.instances
@@ -278,7 +292,10 @@ impl<P: Payload> FdAbcast<P> {
                 if self.delivered.insert(id) {
                     self.pending.remove(&id);
                     self.delivered_log.push(id);
-                    self.rb.forget(rbcast::BcastId { origin: id.origin, seq: id.seq });
+                    self.rb.forget(rbcast::BcastId {
+                        origin: id.origin,
+                        seq: id.seq,
+                    });
                     out.push(FdCastAction::Deliver { id, payload: p });
                 }
             }
@@ -292,7 +309,9 @@ impl<P: Payload> FdAbcast<P> {
                 self.ensure_instance(out);
                 for (from, inner) in msgs {
                     let k = self.k;
-                    let Some(inst) = self.instances.get_mut(&k) else { continue };
+                    let Some(inst) = self.instances.get_mut(&k) else {
+                        continue;
+                    };
                     let mut cons_out = Vec::new();
                     inst.on_message(from, inner, &mut cons_out);
                     self.pump_cons(k, cons_out, out);
@@ -310,12 +329,17 @@ mod tests {
     type A = FdCastAction<u32>;
 
     fn nodes(n: usize) -> Vec<FdAbcast<u32>> {
-        (0..n).map(|i| FdAbcast::new(Pid::new(i), n, &SuspectSet::new())).collect()
+        (0..n)
+            .map(|i| FdAbcast::new(Pid::new(i), n, &SuspectSet::new()))
+            .collect()
     }
 
     /// Routes actions until quiescence (FIFO), returning deliveries
     /// per process.
-    fn drive(nodes: &mut [FdAbcast<u32>], mut queue: Vec<(usize, usize, FdCastMsg<u32>)>) -> Vec<Vec<(MsgId, u32)>> {
+    fn drive(
+        nodes: &mut [FdAbcast<u32>],
+        mut queue: Vec<(usize, usize, FdCastMsg<u32>)>,
+    ) -> Vec<Vec<(MsgId, u32)>> {
         let n = nodes.len();
         let mut delivered = vec![Vec::new(); n];
         let mut steps = 0;
@@ -373,9 +397,9 @@ mod tests {
         let mut ns = nodes(3);
         let mut queue = Vec::new();
         let mut delivered = vec![Vec::new(); 3];
-        for i in 0..3 {
+        for (i, n) in ns.iter_mut().enumerate() {
             let mut out = Vec::new();
-            ns[i].broadcast(10 + i as u32, &mut out);
+            n.broadcast(10 + i as u32, &mut out);
             route(i, out, 3, &mut queue, &mut delivered);
         }
         let more = drive(&mut ns, queue);
@@ -429,8 +453,8 @@ mod tests {
         ns[1].broadcast(5, &mut out);
         route(1, out, 3, &mut queue, &mut delivered);
         drive(&mut ns, queue);
-        for i in 0..3 {
-            assert_eq!(ns[i].instance(), 2, "all advanced");
+        for n in &ns {
+            assert_eq!(n.instance(), 2, "all advanced");
         }
     }
 
@@ -480,7 +504,9 @@ mod tests {
         let mut out_fd = Vec::new();
         ns[1].on_fd(FdEvent::Suspect(Pid::new(0)), &mut out_fd);
         assert!(
-            out_fd.iter().any(|a| matches!(a, FdCastAction::Multicast(FdCastMsg::Data(_)))),
+            out_fd
+                .iter()
+                .any(|a| matches!(a, FdCastAction::Multicast(FdCastMsg::Data(_)))),
             "pending payload from the suspect is relayed: {out_fd:?}"
         );
     }

@@ -273,7 +273,7 @@ impl<P: Payload> GmAbcast<P> {
 
     /// Diagnostic passthrough to the membership machine.
     #[doc(hidden)]
-    pub fn debug_vc(&self) -> Option<(usize, usize, usize, bool, (u32, &'static str, usize, usize))> {
+    pub fn debug_vc(&self) -> Option<membership::VcSnapshot> {
         self.gm.debug_vc()
     }
 
@@ -294,7 +294,10 @@ impl<P: Payload> GmAbcast<P> {
     /// group is reconfiguring (or we are excluded) the message is
     /// buffered and sent in the next view.
     pub fn broadcast(&mut self, payload: P, out: &mut Vec<GmCastAction<P>>) -> MsgId {
-        let id = MsgId { origin: self.me, seq: self.next_local_seq };
+        let id = MsgId {
+            origin: self.me,
+            seq: self.next_local_seq,
+        };
         self.next_local_seq += 1;
         if self.can_send() {
             self.send_data(id, payload, out);
@@ -319,7 +322,9 @@ impl<P: Payload> GmAbcast<P> {
             for m in self.gm.view().others(self.me) {
                 out.push(GmCastAction::Send(
                     m,
-                    GmCastMsg::StateReq { from_index: self.delivered_log.len() as u64 },
+                    GmCastMsg::StateReq {
+                        from_index: self.delivered_log.len() as u64,
+                    },
                 ));
             }
         }
@@ -373,7 +378,11 @@ impl<P: Payload> GmAbcast<P> {
                     self.flush_deliveries(out);
                 }
             }
-            GmCastMsg::Deliver { view, sns, stable_up_to } => match self.classify(view) {
+            GmCastMsg::Deliver {
+                view,
+                sns,
+                stable_up_to,
+            } => match self.classify(view) {
                 ViewRelation::Current => {
                     self.deliverable.extend(sns.iter().copied());
                     self.stable_up_to = self.stable_up_to.max(stable_up_to);
@@ -383,7 +392,11 @@ impl<P: Payload> GmAbcast<P> {
                 ViewRelation::Future => self.buffer_future(
                     view,
                     from,
-                    GmCastMsg::Deliver { view, sns, stable_up_to },
+                    GmCastMsg::Deliver {
+                        view,
+                        sns,
+                        stable_up_to,
+                    },
                 ),
                 ViewRelation::Past => {}
             },
@@ -407,7 +420,12 @@ impl<P: Payload> GmAbcast<P> {
                     ));
                 }
             }
-            GmCastMsg::StateResp { entries, resume_sn, view, .. } => {
+            GmCastMsg::StateResp {
+                entries,
+                resume_sn,
+                view,
+                ..
+            } => {
                 self.handle_state_resp(entries, resume_sn, view, out);
             }
         }
@@ -419,7 +437,11 @@ impl<P: Payload> GmAbcast<P> {
         let view = self.gm.view();
         out.push(GmCastAction::Multicast(
             view.others(self.me),
-            GmCastMsg::Data { view: view.id(), id, payload: payload.clone() },
+            GmCastMsg::Data {
+                view: view.id(),
+                id,
+                payload: payload.clone(),
+            },
         ));
         self.handle_data(id, payload, out);
     }
@@ -471,7 +493,10 @@ impl<P: Payload> GmAbcast<P> {
         let view = self.gm.view();
         out.push(GmCastAction::Multicast(
             view.others(self.me),
-            GmCastMsg::Seq { view: view.id(), sns: pairs.clone() },
+            GmCastMsg::Seq {
+                view: view.id(),
+                sns: pairs.clone(),
+            },
         ));
         // The sequencer holds Data+Seq by construction.
         for &(_, sn) in &pairs {
@@ -496,12 +521,14 @@ impl<P: Payload> GmAbcast<P> {
                 }
             }
         }
-        if !to_ack.is_empty() && !self.is_sequencer() && self.uniformity == Uniformity::Uniform
-        {
+        if !to_ack.is_empty() && !self.is_sequencer() && self.uniformity == Uniformity::Uniform {
             let view = self.gm.view();
             out.push(GmCastAction::Send(
                 view.sequencer(),
-                GmCastMsg::AckSn { view: view.id(), sns: to_ack },
+                GmCastMsg::AckSn {
+                    view: view.id(),
+                    sns: to_ack,
+                },
             ));
         }
         self.try_deliver(out);
@@ -520,7 +547,10 @@ impl<P: Payload> GmAbcast<P> {
             let view = self.gm.view();
             out.push(GmCastAction::Send(
                 view.sequencer(),
-                GmCastMsg::AckSn { view: view.id(), sns: vec![sn] },
+                GmCastMsg::AckSn {
+                    view: view.id(),
+                    sns: vec![sn],
+                },
             ));
         } else {
             self.maybe_cumulative_ack(out);
@@ -539,7 +569,10 @@ impl<P: Payload> GmAbcast<P> {
             let view = self.gm.view();
             out.push(GmCastAction::Send(
                 view.sequencer(),
-                GmCastMsg::AckUpTo { view: view.id(), up_to: held },
+                GmCastMsg::AckUpTo {
+                    view: view.id(),
+                    up_to: held,
+                },
             ));
         }
     }
@@ -591,7 +624,11 @@ impl<P: Payload> GmAbcast<P> {
         if !newly.is_empty() || announce_stability {
             let view = self.gm.view();
             let msg = if self.uniformity == Uniformity::Uniform {
-                GmCastMsg::Deliver { view: view.id(), sns: newly, stable_up_to: self.stable_up_to }
+                GmCastMsg::Deliver {
+                    view: view.id(),
+                    sns: newly,
+                    stable_up_to: self.stable_up_to,
+                }
             } else {
                 // Non-uniform: pure stability announcement.
                 GmCastMsg::Deliver {
@@ -615,7 +652,9 @@ impl<P: Payload> GmAbcast<P> {
     fn try_deliver(&mut self, out: &mut Vec<GmCastAction<P>>) {
         loop {
             let sn = self.delivered_sn;
-            let Some(&id) = self.by_sn.get(&sn) else { break };
+            let Some(&id) = self.by_sn.get(&sn) else {
+                break;
+            };
             if self.delivered_ids.contains(&id) {
                 self.delivered_sn += 1;
                 continue;
@@ -623,7 +662,9 @@ impl<P: Payload> GmAbcast<P> {
             if !self.deliverable.contains(&sn) {
                 break;
             }
-            let Some((_, payload)) = self.store.get(&id) else { break };
+            let Some((_, payload)) = self.store.get(&id) else {
+                break;
+            };
             let payload = payload.clone();
             self.deliver(id, payload, out);
             self.delivered_sn += 1;
@@ -659,9 +700,7 @@ impl<P: Payload> GmAbcast<P> {
                 GmAction::Multicast(dests, m) => {
                     out.push(GmCastAction::Multicast(dests, GmCastMsg::Gm(m)))
                 }
-                GmAction::Install { view, unstable, .. } => {
-                    self.apply_install(view, unstable, out)
-                }
+                GmAction::Install { view, unstable, .. } => self.apply_install(view, unstable, out),
                 GmAction::Excluded { .. } => out.push(GmCastAction::JoinNeeded),
                 GmAction::Readmitted { view } => {
                     self.catching_up = true;
@@ -669,7 +708,9 @@ impl<P: Payload> GmAbcast<P> {
                     for m in view.others(self.me) {
                         out.push(GmCastAction::Send(
                             m,
-                            GmCastMsg::StateReq { from_index: self.delivered_log.len() as u64 },
+                            GmCastMsg::StateReq {
+                                from_index: self.delivered_log.len() as u64,
+                            },
                         ));
                     }
                     out.push(GmCastAction::CatchupNeeded);
@@ -685,12 +726,7 @@ impl<P: Payload> GmAbcast<P> {
         }
     }
 
-    fn apply_install(
-        &mut self,
-        view: View,
-        unstable: Bundle<P>,
-        out: &mut Vec<GmCastAction<P>>,
-    ) {
+    fn apply_install(&mut self, view: View, unstable: Bundle<P>, out: &mut Vec<GmCastAction<P>>) {
         // 1) Deliver the agreed unstable messages: sequenced ones in sn
         //    order, then unsequenced ones in id order (deterministic —
         //    every member delivers the same list).
@@ -814,7 +850,10 @@ impl<P: Payload> GmAbcast<P> {
     }
 
     fn buffer_future(&mut self, view: ViewId, from: Pid, msg: GmCastMsg<P>) {
-        self.future_inview.entry(view).or_default().push((from, msg));
+        self.future_inview
+            .entry(view)
+            .or_default()
+            .push((from, msg));
     }
 }
 
@@ -832,7 +871,9 @@ mod tests {
     type A = GmCastAction<u32>;
 
     fn nodes(n: usize, u: Uniformity) -> Vec<GmAbcast<u32>> {
-        (0..n).map(|i| GmAbcast::new(Pid::new(i), n, &SuspectSet::new(), u)).collect()
+        (0..n)
+            .map(|i| GmAbcast::new(Pid::new(i), n, &SuspectSet::new(), u))
+            .collect()
     }
 
     fn route(
@@ -865,7 +906,11 @@ mod tests {
 
     impl Net {
         fn new(n: usize) -> Self {
-            Net { queue: Vec::new(), delivered: vec![Vec::new(); n], flags: Vec::new() }
+            Net {
+                queue: Vec::new(),
+                delivered: vec![Vec::new(); n],
+                flags: Vec::new(),
+            }
         }
 
         fn drive(&mut self, ns: &mut [GmAbcast<u32>]) {
@@ -889,7 +934,13 @@ mod tests {
                 steps += 1;
                 let mut out = Vec::new();
                 ns[to].on_message(Pid::new(from), m, &mut out);
-                route(to, out, &mut self.queue, &mut self.delivered, &mut self.flags);
+                route(
+                    to,
+                    out,
+                    &mut self.queue,
+                    &mut self.delivered,
+                    &mut self.flags,
+                );
                 // Shell behaviour: act on join/catchup flags directly.
                 let flags = std::mem::take(&mut self.flags);
                 for (who, what) in flags {
@@ -899,7 +950,13 @@ mod tests {
                         "catchup" => ns[who].request_state(&mut out),
                         _ => {}
                     }
-                    route(who, out, &mut self.queue, &mut self.delivered, &mut self.flags);
+                    route(
+                        who,
+                        out,
+                        &mut self.queue,
+                        &mut self.delivered,
+                        &mut self.flags,
+                    );
                 }
             }
             steps
@@ -908,20 +965,38 @@ mod tests {
         fn bcast(&mut self, ns: &mut [GmAbcast<u32>], who: usize, v: u32) -> MsgId {
             let mut out = Vec::new();
             let id = ns[who].broadcast(v, &mut out);
-            route(who, out, &mut self.queue, &mut self.delivered, &mut self.flags);
+            route(
+                who,
+                out,
+                &mut self.queue,
+                &mut self.delivered,
+                &mut self.flags,
+            );
             id
         }
 
         fn suspect(&mut self, ns: &mut [GmAbcast<u32>], at: usize, p: usize) {
             let mut out = Vec::new();
             ns[at].on_fd(FdEvent::Suspect(Pid::new(p)), &mut out);
-            route(at, out, &mut self.queue, &mut self.delivered, &mut self.flags);
+            route(
+                at,
+                out,
+                &mut self.queue,
+                &mut self.delivered,
+                &mut self.flags,
+            );
         }
 
         fn trust(&mut self, ns: &mut [GmAbcast<u32>], at: usize, p: usize) {
             let mut out = Vec::new();
             ns[at].on_fd(FdEvent::Trust(Pid::new(p)), &mut out);
-            route(at, out, &mut self.queue, &mut self.delivered, &mut self.flags);
+            route(
+                at,
+                out,
+                &mut self.queue,
+                &mut self.delivered,
+                &mut self.flags,
+            );
         }
     }
 
@@ -991,10 +1066,14 @@ mod tests {
         net.drive(&mut ns);
         let id2 = net.bcast(&mut ns, 0, 9);
         net.drive(&mut ns);
-        for i in 0..3 {
-            let log = ns[i].delivered_log();
+        for (i, n) in ns.iter().enumerate() {
+            let log = n.delivered_log();
             assert!(log.contains(&(id, 5)), "p{} missing first message", i + 1);
-            assert!(log.contains(&(id2, 9)), "p{} missing post-change message", i + 1);
+            assert!(
+                log.contains(&(id2, 9)),
+                "p{} missing post-change message",
+                i + 1
+            );
         }
         // Total order holds.
         assert_eq!(ns[0].delivered_log(), ns[1].delivered_log());
@@ -1062,12 +1141,12 @@ mod tests {
         }
         // Everything acked by everyone and delivered: stores should be
         // (almost) empty on every process.
-        for i in 0..3 {
+        for (i, n) in ns.iter().enumerate() {
             assert!(
-                ns[i].store.len() <= 1,
+                n.store.len() <= 1,
                 "p{} retains {} unstable messages",
                 i + 1,
-                ns[i].store.len()
+                n.store.len()
             );
         }
     }

@@ -39,8 +39,16 @@ impl<P: Payload> Message for GmCastMsg<P> {
                 true
             }
             (
-                GmCastMsg::Deliver { view: v1, sns: a, stable_up_to: s1 },
-                GmCastMsg::Deliver { view: v2, sns: b, stable_up_to: s2 },
+                GmCastMsg::Deliver {
+                    view: v1,
+                    sns: a,
+                    stable_up_to: s1,
+                },
+                GmCastMsg::Deliver {
+                    view: v2,
+                    sns: b,
+                    stable_up_to: s2,
+                },
             ) if v1 == v2 => {
                 a.extend(b.iter().copied());
                 *s1 = (*s1).max(*s2);
@@ -70,7 +78,9 @@ impl<P: Payload> FdNode<P> {
     /// Creates the node; `suspects_at_start` seeds the failure
     /// detector output for crash-steady scenarios.
     pub fn new(me: Pid, n: usize, suspects_at_start: &fdet::SuspectSet) -> Self {
-        FdNode { inner: FdAbcast::new(me, n, suspects_at_start) }
+        FdNode {
+            inner: FdAbcast::new(me, n, suspects_at_start),
+        }
     }
 
     /// Disables the coordinator-renumbering optimisation (ablation).
@@ -142,7 +152,9 @@ impl<P: Payload> GmNode<P> {
         suspects_at_start: &fdet::SuspectSet,
         uniformity: Uniformity,
     ) -> Self {
-        GmNode { inner: GmAbcast::new(me, n, suspects_at_start, uniformity) }
+        GmNode {
+            inner: GmAbcast::new(me, n, suspects_at_start, uniformity),
+        }
     }
 
     /// The wrapped state machine (inspection in tests/examples).
@@ -150,7 +162,11 @@ impl<P: Payload> GmNode<P> {
         &self.inner
     }
 
-    fn run(&mut self, actions: Vec<GmCastAction<P>>, ctx: &mut dyn Ctx<GmCastMsg<P>, AbcastEvent<P>>) {
+    fn run(
+        &mut self,
+        actions: Vec<GmCastAction<P>>,
+        ctx: &mut dyn Ctx<GmCastMsg<P>, AbcastEvent<P>>,
+    ) {
         for a in actions {
             match a {
                 GmCastAction::Send(to, m) => ctx.send(to, m),
@@ -198,17 +214,13 @@ impl<P: Payload> Process for GmNode<P> {
     fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, _id: TimerId, tag: u64) {
         let mut out = Vec::new();
         match tag {
-            TAG_JOIN_RETRY => {
-                if self.inner.is_excluded() {
-                    self.inner.request_join(&mut out);
-                    ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
-                }
+            TAG_JOIN_RETRY if self.inner.is_excluded() => {
+                self.inner.request_join(&mut out);
+                ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
             }
-            TAG_CATCHUP_RETRY => {
-                if self.inner.is_catching_up() {
-                    self.inner.request_state(&mut out);
-                    ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
-                }
+            TAG_CATCHUP_RETRY if self.inner.is_catching_up() => {
+                self.inner.request_state(&mut out);
+                ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
             }
             _ => {}
         }
@@ -232,33 +244,72 @@ mod tests {
         let w = ViewId(2);
         let mut seq: GmCastMsg<u32> = GmCastMsg::Seq {
             view: v,
-            sns: vec![(MsgId { origin: Pid::new(0), seq: 0 }, 0)],
+            sns: vec![(
+                MsgId {
+                    origin: Pid::new(0),
+                    seq: 0,
+                },
+                0,
+            )],
         };
         let seq2 = GmCastMsg::Seq {
             view: v,
-            sns: vec![(MsgId { origin: Pid::new(1), seq: 0 }, 1)],
+            sns: vec![(
+                MsgId {
+                    origin: Pid::new(1),
+                    seq: 0,
+                },
+                1,
+            )],
         };
         assert!(seq.try_merge(&seq2));
-        let GmCastMsg::Seq { sns, .. } = &seq else { panic!() };
+        let GmCastMsg::Seq { sns, .. } = &seq else {
+            panic!()
+        };
         assert_eq!(sns.len(), 2);
 
         let seq_other_view = GmCastMsg::Seq {
             view: w,
-            sns: vec![(MsgId { origin: Pid::new(1), seq: 1 }, 0)],
+            sns: vec![(
+                MsgId {
+                    origin: Pid::new(1),
+                    seq: 1,
+                },
+                0,
+            )],
         };
         assert!(!seq.try_merge(&seq_other_view));
 
-        let mut del: GmCastMsg<u32> = GmCastMsg::Deliver { view: v, sns: vec![0], stable_up_to: 1 };
-        let del2 = GmCastMsg::Deliver { view: v, sns: vec![1, 2], stable_up_to: 3 };
+        let mut del: GmCastMsg<u32> = GmCastMsg::Deliver {
+            view: v,
+            sns: vec![0],
+            stable_up_to: 1,
+        };
+        let del2 = GmCastMsg::Deliver {
+            view: v,
+            sns: vec![1, 2],
+            stable_up_to: 3,
+        };
         assert!(del.try_merge(&del2));
-        let GmCastMsg::Deliver { sns, stable_up_to, .. } = &del else { panic!() };
+        let GmCastMsg::Deliver {
+            sns, stable_up_to, ..
+        } = &del
+        else {
+            panic!()
+        };
         assert_eq!(sns, &vec![0, 1, 2]);
         assert_eq!(*stable_up_to, 3);
 
-        let mut ack: GmCastMsg<u32> = GmCastMsg::AckSn { view: v, sns: vec![5] };
+        let mut ack: GmCastMsg<u32> = GmCastMsg::AckSn {
+            view: v,
+            sns: vec![5],
+        };
         let data = GmCastMsg::Data {
             view: v,
-            id: MsgId { origin: Pid::new(0), seq: 0 },
+            id: MsgId {
+                origin: Pid::new(0),
+                seq: 0,
+            },
             payload: 1,
         };
         assert!(!ack.try_merge(&data), "different kinds never merge");
@@ -269,8 +320,17 @@ mod tests {
         use rbcast::{BcastId, RbMsg};
         let mk = || {
             FdCastMsg::Data(RbMsg::Data {
-                id: BcastId { origin: Pid::new(0), seq: 0 },
-                payload: (MsgId { origin: Pid::new(0), seq: 0 }, 7u32),
+                id: BcastId {
+                    origin: Pid::new(0),
+                    seq: 0,
+                },
+                payload: (
+                    MsgId {
+                        origin: Pid::new(0),
+                        seq: 0,
+                    },
+                    7u32,
+                ),
             })
         };
         let mut a = mk();

@@ -29,12 +29,16 @@ where
 
 fn fd_sim(n: usize, seed: u64) -> Sim<FdNode<u64>> {
     let s = SuspectSet::new();
-    SimBuilder::new(n).seed(seed).build_with(|p| FdNode::new(p, n, &s))
+    SimBuilder::new(n)
+        .seed(seed)
+        .build_with(|p| FdNode::new(p, n, &s))
 }
 
 fn gm_sim(n: usize, seed: u64) -> Sim<GmNode<u64>> {
     let s = SuspectSet::new();
-    SimBuilder::new(n).seed(seed).build_with(|p| GmNode::new(p, n, &s))
+    SimBuilder::new(n)
+        .seed(seed)
+        .build_with(|p| GmNode::new(p, n, &s))
 }
 
 fn workload(n: usize, count: usize, gap_us: u64) -> Vec<(Time, usize, u64)> {
@@ -143,7 +147,9 @@ fn crash_transient_fd_delivers_after_detection() {
     // at t + T_D. The broadcast must still be delivered, only later.
     let n = 3;
     let s = SuspectSet::new();
-    let mut sim = SimBuilder::new(n).seed(2).build_with(|p| FdNode::<u64>::new(p, n, &s));
+    let mut sim = SimBuilder::new(n)
+        .seed(2)
+        .build_with(|p| FdNode::<u64>::new(p, n, &s));
     let t = Time::from_millis(100);
     let td = neko::Dur::from_millis(30);
     sim.schedule_crash(t, Pid::new(0));
@@ -160,7 +166,11 @@ fn crash_transient_fd_delivers_after_detection() {
         .collect();
     let survivors: Vec<&Obs> = obs.iter().filter(|(_, p, _)| p.index() != 0).collect();
     assert_eq!(survivors.len(), 2, "both survivors deliver: {obs:?}");
-    let first = survivors.iter().map(|(t, _, _)| *t).min().expect("delivered");
+    let first = survivors
+        .iter()
+        .map(|(t, _, _)| *t)
+        .min()
+        .expect("delivered");
     assert!(first >= t + td, "no delivery before detection, got {first}");
     assert!(
         first < t + td + neko::Dur::from_millis(20),
@@ -172,7 +182,9 @@ fn crash_transient_fd_delivers_after_detection() {
 fn crash_transient_gm_delivers_after_view_change() {
     let n = 3;
     let s = SuspectSet::new();
-    let mut sim = SimBuilder::new(n).seed(2).build_with(|p| GmNode::<u64>::new(p, n, &s));
+    let mut sim = SimBuilder::new(n)
+        .seed(2)
+        .build_with(|p| GmNode::<u64>::new(p, n, &s));
     let t = Time::from_millis(100);
     let td = neko::Dur::from_millis(30);
     sim.schedule_crash(t, Pid::new(0)); // the sequencer
@@ -189,7 +201,11 @@ fn crash_transient_gm_delivers_after_view_change() {
         .collect();
     let survivors: Vec<&Obs> = obs.iter().filter(|(_, p, _)| p.index() != 0).collect();
     assert_eq!(survivors.len(), 2, "both survivors deliver: {obs:?}");
-    let first = survivors.iter().map(|(t, _, _)| *t).min().expect("delivered");
+    let first = survivors
+        .iter()
+        .map(|(t, _, _)| *t)
+        .min()
+        .expect("delivered");
     assert!(first >= t + td, "no delivery before detection, got {first}");
 }
 
@@ -207,7 +223,9 @@ fn crash_steady_gm_sequencer_waits_for_fewer_acks() {
     }
 
     // FD: survivors know of the crashes from the start.
-    let mut fd = SimBuilder::new(n).seed(3).build_with(|p| FdNode::<u64>::new(p, n, &suspects));
+    let mut fd = SimBuilder::new(n)
+        .seed(3)
+        .build_with(|p| FdNode::<u64>::new(p, n, &suspects));
     for &c in &crashed {
         fd.schedule_crash(Time::ZERO, c);
     }
@@ -225,7 +243,9 @@ fn crash_steady_gm_sequencer_waits_for_fewer_acks() {
     // survivors (views converged long ago). Bootstrapping that state
     // through the protocol: crash + suspicions at time zero, then let
     // the view change settle before measuring.
-    let mut gm = SimBuilder::new(n).seed(3).build_with(|p| GmNode::<u64>::new(p, n, &suspects));
+    let mut gm = SimBuilder::new(n)
+        .seed(3)
+        .build_with(|p| GmNode::<u64>::new(p, n, &suspects));
     for &c in &crashed {
         gm.schedule_crash(Time::ZERO, c);
     }

@@ -27,11 +27,14 @@ fn main() {
 fn renumbering() {
     header("abl-renumber", "throughput_per_s");
     // p1 (the default round-1 coordinator) crashed long ago.
-    let spec = ScenarioSpec::CrashSteady { crashed: vec![Pid::new(0)] };
+    let spec = ScenarioSpec::CrashSteady {
+        crashed: vec![Pid::new(0)],
+    };
     for t in [10.0, 100.0, 300.0, 500.0] {
-        for (series, alg) in
-            [("renumbering", Algorithm::Fd), ("no-renumbering", Algorithm::FdNoRenumber)]
-        {
+        for (series, alg) in [
+            ("renumbering", Algorithm::Fd),
+            ("no-renumbering", Algorithm::FdNoRenumber),
+        ] {
             let out = run_replicated(alg, &spec, &steady_params(3, t), 0xAB10);
             row("abl-renumber", series, t, &out);
         }
@@ -42,8 +45,7 @@ fn coalescing() {
     header("abl-coalesce", "throughput_per_s");
     for t in [100.0, 300.0, 500.0, 700.0] {
         for (series, on) in [("coalescing", true), ("no-coalescing", false)] {
-            let params =
-                steady_params(3, t).with_net(NetParams::default().with_coalescing(on));
+            let params = steady_params(3, t).with_net(NetParams::default().with_coalescing(on));
             let out = run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &params, 0xAB20);
             row("abl-coalesce", series, t, &out);
         }
@@ -54,8 +56,7 @@ fn lambda() {
     header("abl-lambda", "lambda");
     for lam in [0.1, 0.5, 1.0, 2.0, 4.0] {
         for alg in Algorithm::PAPER {
-            let params =
-                steady_params(3, 100.0).with_net(NetParams::default().with_lambda(lam));
+            let params = steady_params(3, 100.0).with_net(NetParams::default().with_lambda(lam));
             let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0xAB30);
             row("abl-lambda", &format!("{alg:?}"), lam, &out);
         }
@@ -66,10 +67,16 @@ fn uniformity() {
     header("abl-uniformity", "throughput_per_s");
     for n in [3, 7] {
         for t in [10.0, 100.0, 300.0] {
-            for (series, alg) in [("uniform", Algorithm::Gm), ("non-uniform", Algorithm::GmNonUniform)]
-            {
-                let out =
-                    run_replicated(alg, &ScenarioSpec::NormalSteady, &steady_params(n, t), 0xAB40);
+            for (series, alg) in [
+                ("uniform", Algorithm::Gm),
+                ("non-uniform", Algorithm::GmNonUniform),
+            ] {
+                let out = run_replicated(
+                    alg,
+                    &ScenarioSpec::NormalSteady,
+                    &steady_params(n, t),
+                    0xAB40,
+                );
                 row("abl-uniformity", &format!("n={n} {series}"), t, &out);
             }
         }

@@ -43,9 +43,9 @@ fn consensus_instance(c: &mut Criterion) {
                 // Drive one instance by hand: propose everywhere, route
                 // coordinator traffic FIFO.
                 let mut queue: Vec<(usize, usize, ConsensusMsg<u32>)> = Vec::new();
-                for i in 0..7 {
+                for (i, m) in machines.iter_mut().enumerate() {
                     let mut out = Vec::new();
-                    machines[i].propose(i as u32, &mut out);
+                    m.propose(i as u32, &mut out);
                     route(i, out, 7, &mut queue);
                 }
                 while let Some((from, to, m)) = queue.pop() {

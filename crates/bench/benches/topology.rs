@@ -1,0 +1,35 @@
+//! **Topology** — latency vs throughput of both algorithms under all
+//! three network models (normal-steady, n = 3 and n = 7).
+//!
+//! This sweep goes beyond the paper, which only evaluates the shared
+//! Ethernet-style medium: a full-duplex switch removes the wire
+//! bottleneck (aggregate bandwidth scales with the number of links,
+//! the Ring Paxos setting), so curves saturate later and the FD/GM
+//! latency is driven by CPU contention; the WAN model has no wire
+//! contention at all but per-pair latencies of tens of milliseconds,
+//! so latency is round-trip-dominated and nearly flat in throughput.
+
+use figures::{header, row, steady_params, thin};
+use neko::{NetworkModel, WanParams};
+use study::{paper, run_replicated, ScenarioSpec};
+
+fn models() -> Vec<(&'static str, NetworkModel)> {
+    vec![
+        ("shared", NetworkModel::SharedMedium),
+        ("switched", NetworkModel::Switched),
+        ("wan", NetworkModel::Wan(WanParams::default())),
+    ]
+}
+
+fn main() {
+    header("topology", "throughput_per_s");
+    for (model_name, model) in models() {
+        for (series, n, alg) in paper::fig4_series() {
+            for t in thin(paper::throughput_sweep()) {
+                let params = steady_params(n, t).with_network_model(model);
+                let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0x0707_0100);
+                row("topology", &format!("{model_name} {series}"), t, &out);
+            }
+        }
+    }
+}

@@ -46,7 +46,10 @@ pub struct ConsensusConfig {
 impl ConsensusConfig {
     /// Rotation `p1, p2, …, pn` over all `n` processes.
     pub fn ring(me: Pid, n: usize) -> Self {
-        ConsensusConfig { me, order: Pid::all(n).collect() }
+        ConsensusConfig {
+            me,
+            order: Pid::all(n).collect(),
+        }
     }
 
     /// Rotation starting at `first`, then continuing in pid order
@@ -120,7 +123,10 @@ impl<V: Value> Consensus<V> {
     /// Panics if the rotation order is empty or does not contain `me`.
     pub fn new(config: ConsensusConfig, suspects: &SuspectSet) -> Self {
         assert!(!config.order.is_empty(), "rotation order must not be empty");
-        assert!(config.order.contains(&config.me), "rotation order must contain `me`");
+        assert!(
+            config.order.contains(&config.me),
+            "rotation order must contain `me`"
+        );
         let quorum = config.order.len() / 2 + 1;
         Consensus {
             me: config.me,
@@ -173,7 +179,11 @@ impl<V: Value> Consensus<V> {
     /// The other participants, in rotation order (the destination set
     /// of [`ConsensusAction::Multicast`]).
     pub fn peers(&self) -> Vec<Pid> {
-        self.order.iter().copied().filter(|&p| p != self.me).collect()
+        self.order
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect()
     }
 
     /// Proposes this process's initial value. Later calls are ignored
@@ -259,7 +269,10 @@ impl<V: Value> Consensus<V> {
         if p == self.coordinator(self.round) {
             match self.phase {
                 Phase::AwaitPropose => {
-                    out.push(ConsensusAction::Send(p, ConsensusMsg::Nack { round: self.round }));
+                    out.push(ConsensusAction::Send(
+                        p,
+                        ConsensusMsg::Nack { round: self.round },
+                    ));
                     let next = self.round + 1;
                     self.enter_round(next, out);
                 }
@@ -329,8 +342,17 @@ impl<V: Value> Consensus<V> {
         }
         // Highest timestamp wins; prefer our own entry among ties,
         // then the smallest pid, for determinism.
-        let max_ts = self.estimates.values().map(|(_, ts)| *ts).max().expect("quorum > 0");
-        let pick = if self.estimates.get(&self.me).is_some_and(|(_, ts)| *ts == max_ts) {
+        let max_ts = self
+            .estimates
+            .values()
+            .map(|(_, ts)| *ts)
+            .max()
+            .expect("quorum > 0");
+        let pick = if self
+            .estimates
+            .get(&self.me)
+            .is_some_and(|(_, ts)| *ts == max_ts)
+        {
             self.estimates[&self.me].0.clone()
         } else {
             self.estimates
@@ -368,12 +390,18 @@ impl<V: Value> Consensus<V> {
         if self.estimate_sent_for >= self.round {
             return;
         }
-        let Some(est) = self.estimate.clone() else { return };
+        let Some(est) = self.estimate.clone() else {
+            return;
+        };
         self.estimate_sent_for = self.round;
         let c = self.coordinator(self.round);
         out.push(ConsensusAction::Send(
             c,
-            ConsensusMsg::Estimate { round: self.round, est, ts: self.ts },
+            ConsensusMsg::Estimate {
+                round: self.round,
+                est,
+                ts: self.ts,
+            },
         ));
     }
 
@@ -435,11 +463,7 @@ impl<V: Value> Consensus<V> {
         self.map_rb(rb_out, out);
     }
 
-    fn map_rb(
-        &mut self,
-        rb_out: Vec<RbAction<Decision<V>>>,
-        out: &mut Vec<ConsensusAction<V>>,
-    ) {
+    fn map_rb(&mut self, rb_out: Vec<RbAction<Decision<V>>>, out: &mut Vec<ConsensusAction<V>>) {
         for a in rb_out {
             match a {
                 RbAction::Deliver { id, payload } => {
@@ -509,7 +533,10 @@ mod tests {
         let propose = ConsensusMsg::Propose { round: 1, value: 7 };
         let mut out1 = Vec::new();
         c1.on_message(p0, propose.clone(), &mut out1);
-        assert_eq!(out1, vec![ConsensusAction::Send(p0, ConsensusMsg::Ack { round: 1 })]);
+        assert_eq!(
+            out1,
+            vec![ConsensusAction::Send(p0, ConsensusMsg::Ack { round: 1 })]
+        );
         let mut out2 = Vec::new();
         c2.on_message(p0, propose, &mut out2);
 
@@ -633,7 +660,11 @@ mod tests {
         let mut c1 = Consensus::new(cfg(1, 3), &none());
         let mut out1 = Vec::new();
         c1.propose(5, &mut out1);
-        c1.on_message(Pid::new(0), ConsensusMsg::Propose { round: 1, value: 7 }, &mut out1);
+        c1.on_message(
+            Pid::new(0),
+            ConsensusMsg::Propose { round: 1, value: 7 },
+            &mut out1,
+        );
         out1.clear();
         c1.on_message(Pid::new(0), ConsensusMsg::Skip { round: 1 }, &mut out1);
         assert_eq!(c1.round(), 2);
@@ -642,7 +673,11 @@ mod tests {
         let mut out1b = Vec::new();
         c1.on_message(
             Pid::new(0),
-            ConsensusMsg::Estimate { round: 2, est: 7, ts: 1 },
+            ConsensusMsg::Estimate {
+                round: 2,
+                est: 7,
+                ts: 1,
+            },
             &mut out1b,
         );
         assert_eq!(find_propose(&out1b), Some((2, 7)));
@@ -656,7 +691,11 @@ mod tests {
         assert_eq!(c2.round(), 1);
         out.clear();
         // A proposal for round 2 arrives (others advanced).
-        c2.on_message(Pid::new(1), ConsensusMsg::Propose { round: 2, value: 8 }, &mut out);
+        c2.on_message(
+            Pid::new(1),
+            ConsensusMsg::Propose { round: 2, value: 8 },
+            &mut out,
+        );
         assert_eq!(c2.round(), 2);
         assert!(out.contains(&ConsensusAction::Send(
             Pid::new(1),
@@ -672,12 +711,20 @@ mod tests {
         let mut c2 = Consensus::new(cfg(2, 3), &none());
         let mut out = Vec::new();
         c2.propose(5, &mut out);
-        c2.on_message(Pid::new(0), ConsensusMsg::Propose { round: 1, value: 7 }, &mut out);
+        c2.on_message(
+            Pid::new(0),
+            ConsensusMsg::Propose { round: 1, value: 7 },
+            &mut out,
+        );
         out.clear();
         // Jump to round 3 via an estimate addressed to us.
         c2.on_message(
             Pid::new(0),
-            ConsensusMsg::Estimate { round: 3, est: 5, ts: 0 },
+            ConsensusMsg::Estimate {
+                round: 3,
+                est: 5,
+                ts: 0,
+            },
             &mut out,
         );
         let (round, v) = find_propose(&out).expect("quorum reached: own + p1");
@@ -696,7 +743,11 @@ mod tests {
         // A laggard still in round 1 asks with an estimate for round 2.
         c0.on_message(
             Pid::new(2),
-            ConsensusMsg::Estimate { round: 2, est: 9, ts: 0 },
+            ConsensusMsg::Estimate {
+                round: 2,
+                est: 9,
+                ts: 0,
+            },
             &mut out,
         );
         assert!(
@@ -730,7 +781,11 @@ mod tests {
         c1.propose(1, &mut out);
         assert_eq!(c1.round(), 2);
         out.clear();
-        c1.on_message(Pid::new(0), ConsensusMsg::Propose { round: 1, value: 9 }, &mut out);
+        c1.on_message(
+            Pid::new(0),
+            ConsensusMsg::Propose { round: 1, value: 9 },
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -763,7 +818,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must contain")]
     fn config_must_contain_me() {
-        let cfg = ConsensusConfig { me: Pid::new(5), order: vec![Pid::new(0), Pid::new(1)] };
+        let cfg = ConsensusConfig {
+            me: Pid::new(5),
+            order: vec![Pid::new(0), Pid::new(1)],
+        };
         let _: Consensus<u32> = Consensus::new(cfg, &none());
     }
 }

@@ -96,10 +96,17 @@ mod tests {
     fn round_extraction() {
         let m: ConsensusMsg<u32> = ConsensusMsg::Ack { round: 4 };
         assert_eq!(m.round(), Some(4));
-        let m: ConsensusMsg<u32> = ConsensusMsg::Estimate { round: 2, est: 9, ts: 1 };
+        let m: ConsensusMsg<u32> = ConsensusMsg::Estimate {
+            round: 2,
+            est: 9,
+            ts: 1,
+        };
         assert_eq!(m.round(), Some(2));
         let m: ConsensusMsg<u32> = ConsensusMsg::Decide(RbMsg::Data {
-            id: rbcast::BcastId { origin: Pid::new(0), seq: 0 },
+            id: rbcast::BcastId {
+                origin: Pid::new(0),
+                seq: 0,
+            },
             payload: Decision { value: 1 },
         });
         assert_eq!(m.round(), None);

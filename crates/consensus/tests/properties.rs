@@ -74,7 +74,8 @@ impl Harness {
                 ConsensusAction::Multicast(m) => {
                     for to in 0..self.n {
                         if to != from {
-                            self.in_flight.push((Pid::new(from), Pid::new(to), m.clone()));
+                            self.in_flight
+                                .push((Pid::new(from), Pid::new(to), m.clone()));
                         }
                     }
                 }
@@ -92,7 +93,8 @@ impl Harness {
                 // suspects the crashed one.
                 for q in 0..self.n {
                     if q != victim {
-                        self.fd_queue.push((Pid::new(q), FdEvent::Suspect(Pid::new(victim))));
+                        self.fd_queue
+                            .push((Pid::new(q), FdEvent::Suspect(Pid::new(victim))));
                     }
                 }
             }
@@ -116,7 +118,10 @@ impl Harness {
     fn run(&mut self, rng: &mut SmallRng, budget: usize) {
         loop {
             self.step += 1;
-            assert!(self.step < budget, "liveness: no quiescence within {budget} steps");
+            assert!(
+                self.step < budget,
+                "liveness: no quiescence within {budget} steps"
+            );
             self.fire_due_plans();
             let has_msgs = !self.in_flight.is_empty();
             let has_fd = !self.fd_queue.is_empty();
@@ -163,12 +168,25 @@ impl Harness {
                 }
                 continue;
             }
-            assert_eq!(self.decisions[i].len(), 1, "integrity/termination at p{}", i + 1);
+            assert_eq!(
+                self.decisions[i].len(),
+                1,
+                "integrity/termination at p{}",
+                i + 1
+            );
             let v = self.decisions[i][0];
-            assert_eq!(*agreed.get_or_insert(v), v, "agreement violated at p{}", i + 1);
+            assert_eq!(
+                *agreed.get_or_insert(v),
+                v,
+                "agreement violated at p{}",
+                i + 1
+            );
         }
         let v = agreed.expect("at least one correct process decided");
-        assert!((100..100 + self.n as u32).contains(&v), "validity: {v} was never proposed");
+        assert!(
+            (100..100 + self.n as u32).contains(&v),
+            "validity: {v} was never proposed"
+        );
     }
 }
 
@@ -193,7 +211,11 @@ fn run_case(n: usize, crashes: usize, suspicions: usize, seed: u64) {
         let subject = (at + 1 + rng.gen_range(0..n - 1)) % n;
         let t = rng.gen_range(0..300);
         h.fd_plan.push((t, at, FdEvent::Suspect(Pid::new(subject))));
-        h.fd_plan.push((t + rng.gen_range(1..100), at, FdEvent::Trust(Pid::new(subject))));
+        h.fd_plan.push((
+            t + rng.gen_range(1usize..100),
+            at,
+            FdEvent::Trust(Pid::new(subject)),
+        ));
     }
     h.run(&mut rng, 1_000_000);
     h.check_properties();

@@ -11,7 +11,9 @@ use fdet::QosParams;
 /// Throughput sweep (1/s) used by the latency-vs-throughput figures.
 /// The paper's x-axis runs to 800/s with saturation near 700/s.
 pub fn throughput_sweep() -> Vec<f64> {
-    vec![10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]
+    vec![
+        10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0,
+    ]
 }
 
 /// The two group sizes of the study, chosen to tolerate 1 and 3
@@ -63,7 +65,9 @@ pub const SUSPICION_PANELS: [(usize, f64); 4] = [(3, 10.0), (7, 10.0), (3, 300.0
 
 /// Fig. 6 — mistake recurrence time sweep (ms), `T_M = 0`.
 pub fn fig6_tmr_values_ms() -> Vec<u64> {
-    vec![1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000, 1_000_000]
+    vec![
+        1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000, 1_000_000,
+    ]
 }
 
 /// Fig. 6 scenario for a given `T_MR`.
@@ -83,8 +87,12 @@ pub fn fig7_tm_values_ms() -> Vec<u64> {
 /// Fig. 7 panels: `(n, throughput, fixed T_MR in ms)`, chosen by the
 /// paper so that the two algorithms are "close but not equal" at
 /// `T_M = 0`.
-pub const FIG7_PANELS: [(usize, f64, u64); 4] =
-    [(3, 10.0, 1_000), (7, 10.0, 10_000), (3, 300.0, 10_000), (7, 300.0, 100_000)];
+pub const FIG7_PANELS: [(usize, f64, u64); 4] = [
+    (3, 10.0, 1_000),
+    (7, 10.0, 10_000),
+    (3, 300.0, 10_000),
+    (7, 300.0, 100_000),
+];
 
 /// Fig. 7 scenario for a panel's `T_MR` and a swept `T_M`.
 pub fn fig7_scenario(tmr_ms: u64, tm_ms: u64) -> ScenarioSpec {
@@ -124,17 +132,26 @@ mod tests {
 
     #[test]
     fn fig5_has_paper_curve_counts() {
-        let n3: Vec<_> = fig5_series().into_iter().filter(|(_, n, _, _)| *n == 3).collect();
+        let n3: Vec<_> = fig5_series()
+            .into_iter()
+            .filter(|(_, n, _, _)| *n == 3)
+            .collect();
         // n=3: no-crash, FD 1 crash, GM 1 crash.
         assert_eq!(n3.len(), 3);
-        let n7: Vec<_> = fig5_series().into_iter().filter(|(_, n, _, _)| *n == 7).collect();
+        let n7: Vec<_> = fig5_series()
+            .into_iter()
+            .filter(|(_, n, _, _)| *n == 7)
+            .collect();
         // n=7: no-crash + {FD,GM} × {1,2,3 crashes}.
         assert_eq!(n7.len(), 7);
     }
 
     #[test]
     fn fig8_crash_is_the_first_process() {
-        let ScenarioSpec::CrashTransient { crash, broadcaster, .. } = fig8_scenario(10) else {
+        let ScenarioSpec::CrashTransient {
+            crash, broadcaster, ..
+        } = fig8_scenario(10)
+        else {
             panic!("wrong scenario");
         };
         assert_eq!(crash, Pid::new(0));

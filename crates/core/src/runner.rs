@@ -7,7 +7,9 @@ use std::collections::BTreeMap;
 
 use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
 use fdet::{crash_steady_plan, crash_transient_plan, suspicion_steady_plan, QosParams, SuspectSet};
-use neko::{derive_seed, Dur, NetParams, NetStats, Pid, Process, Sim, SimBuilder, Time};
+use neko::{
+    derive_seed, Dur, NetParams, NetStats, NetworkModel, Pid, Process, Sim, SimBuilder, Time,
+};
 
 use crate::stats::{Running, Summary};
 use crate::workload::poisson_arrivals;
@@ -136,6 +138,19 @@ impl RunParams {
         self
     }
 
+    /// Selects the network topology, keeping the other network
+    /// parameters — the run dimension that puts every scenario on
+    /// every topology (shared medium, switched, WAN).
+    pub fn with_network_model(mut self, model: NetworkModel) -> Self {
+        self.net = self.net.with_model(model);
+        self
+    }
+
+    /// The configured network topology.
+    pub fn network_model(&self) -> NetworkModel {
+        self.net.model()
+    }
+
     /// Sets the fraction of measured messages that may remain
     /// undelivered before the run is declared saturated.
     pub fn with_saturation_frac(mut self, f: f64) -> Self {
@@ -193,7 +208,10 @@ pub fn run_replicated(
                 scope.spawn(move || run_once(alg, &spec, &params, derive_seed(seed, rep as u64)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("replication panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication panicked"))
+            .collect()
     });
     let means: Vec<f64> = runs.iter().filter_map(|r| r.mean_latency_ms).collect();
     let saturated = runs.len() - means.len();
@@ -202,7 +220,11 @@ pub fn run_replicated(
     } else {
         None
     };
-    RunOutput { latency, saturated, runs }
+    RunOutput {
+        latency,
+        saturated,
+        runs,
+    }
 }
 
 /// Runs one simulation of `alg` under `spec`.
@@ -210,18 +232,14 @@ pub fn run_once(alg: Algorithm, spec: &ScenarioSpec, params: &RunParams, seed: u
     let n = params.n;
     let initial = initial_suspects(spec);
     match alg {
-        Algorithm::Fd => {
-            run_once_impl(|p| FdNode::<u64>::new(p, n, &initial), spec, params, seed)
-        }
+        Algorithm::Fd => run_once_impl(|p| FdNode::<u64>::new(p, n, &initial), spec, params, seed),
         Algorithm::FdNoRenumber => run_once_impl(
             |p| FdNode::<u64>::new(p, n, &initial).without_renumbering(),
             spec,
             params,
             seed,
         ),
-        Algorithm::Gm => {
-            run_once_impl(|p| GmNode::<u64>::new(p, n, &initial), spec, params, seed)
-        }
+        Algorithm::Gm => run_once_impl(|p| GmNode::<u64>::new(p, n, &initial), spec, params, seed),
         Algorithm::GmNonUniform => run_once_impl(
             |p| GmNode::<u64>::with_uniformity(p, n, &initial, Uniformity::NonUniform),
             spec,
@@ -251,9 +269,11 @@ where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
 {
     match spec {
-        ScenarioSpec::CrashTransient { crash, broadcaster, detection } => {
-            transient_run(factory, params, seed, *crash, *broadcaster, *detection)
-        }
+        ScenarioSpec::CrashTransient {
+            crash,
+            broadcaster,
+            detection,
+        } => transient_run(factory, params, seed, *crash, *broadcaster, *detection),
         _ => steady_run(factory, spec, params, seed),
     }
 }
@@ -268,7 +288,10 @@ where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
 {
     let n = params.n;
-    let mut sim: Sim<P> = SimBuilder::new(n).seed(seed).network(params.net).build_with(factory);
+    let mut sim: Sim<P> = SimBuilder::new(n)
+        .seed(seed)
+        .network(params.net)
+        .build_with(factory);
     let send_horizon = Time::ZERO + params.warmup + params.measure;
     let end = send_horizon + params.drain;
 
@@ -327,7 +350,11 @@ where
     let saturated =
         measured == 0 || (undelivered as f64) > params.saturation_frac * measured as f64;
     SingleRun {
-        mean_latency_ms: if saturated || lat.is_empty() { None } else { Some(lat.mean()) },
+        mean_latency_ms: if saturated || lat.is_empty() {
+            None
+        } else {
+            Some(lat.mean())
+        },
         measured,
         undelivered,
         net: sim.net_stats(),
@@ -347,14 +374,22 @@ where
 {
     assert_ne!(crash, broadcaster, "the probe's broadcaster must survive");
     let n = params.n;
-    let mut sim: Sim<P> = SimBuilder::new(n).seed(seed).network(params.net).build_with(factory);
+    let mut sim: Sim<P> = SimBuilder::new(n)
+        .seed(seed)
+        .network(params.net)
+        .build_with(factory);
     let tc = Time::ZERO + params.warmup;
     // Background load for the whole run; the crashed process's
     // post-crash arrivals are dropped by the simulator.
     let senders: Vec<Pid> = Pid::all(n).collect();
     let horizon = tc + params.drain;
-    let arrivals =
-        poisson_arrivals(n, params.throughput, horizon, &senders, derive_seed(seed, 0x40AD));
+    let arrivals = poisson_arrivals(
+        n,
+        params.throughput,
+        horizon,
+        &senders,
+        derive_seed(seed, 0x40AD),
+    );
     const PROBE: u64 = u64::MAX;
     for (t, p, payload) in arrivals {
         sim.schedule_command(t, p, payload);
@@ -364,13 +399,10 @@ where
     sim.schedule_fd_plan(crash_transient_plan(n, crash, tc, detection));
     sim.run_until(horizon);
 
-    let first = sim
-        .take_outputs()
-        .into_iter()
-        .find_map(|(t, _, ev)| {
-            let AbcastEvent::Delivered { payload, .. } = ev;
-            (payload == PROBE).then_some(t)
-        });
+    let first = sim.take_outputs().into_iter().find_map(|(t, _, ev)| {
+        let AbcastEvent::Delivered { payload, .. } = ev;
+        (payload == PROBE).then_some(t)
+    });
     SingleRun {
         mean_latency_ms: first.map(|t| (t - tc).as_millis_f64()),
         measured: 1,
@@ -396,7 +428,11 @@ mod tests {
         for alg in Algorithm::PAPER {
             let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &quick(3, 50.0), 1);
             let lat = out.latency.expect("not saturated");
-            assert!(lat.mean() > 5.0 && lat.mean() < 30.0, "{alg:?}: {}", lat.mean());
+            assert!(
+                lat.mean() > 5.0 && lat.mean() < 30.0,
+                "{alg:?}: {}",
+                lat.mean()
+            );
             assert_eq!(out.saturated, 0);
         }
     }
@@ -422,13 +458,51 @@ mod tests {
             .expect("normal sustains");
         let crashed = run_replicated(
             Algorithm::Fd,
-            &ScenarioSpec::CrashSteady { crashed: vec![Pid::new(2)] },
+            &ScenarioSpec::CrashSteady {
+                crashed: vec![Pid::new(2)],
+            },
             &p,
             3,
         )
         .mean_latency_ms()
         .expect("crash-steady sustains");
         assert!(crashed < normal, "crashed={crashed} normal={normal}");
+    }
+
+    #[test]
+    fn every_topology_runs_both_algorithms() {
+        use neko::WanParams;
+        let models = [
+            NetworkModel::SharedMedium,
+            NetworkModel::Switched,
+            NetworkModel::Wan(WanParams::default()),
+        ];
+        for model in models {
+            for alg in Algorithm::PAPER {
+                let p = quick(3, 50.0).with_network_model(model);
+                assert_eq!(p.network_model(), model);
+                let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &p, 9);
+                let lat = out
+                    .latency
+                    .unwrap_or_else(|| panic!("{alg:?}/{model:?} saturated"));
+                assert!(lat.mean() > 0.0, "{alg:?}/{model:?}: {}", lat.mean());
+                // WAN pair latency (≥ 10 ms one way) dominates the
+                // 1 ms-unit contention models at this light load.
+                if matches!(model, NetworkModel::Wan(_)) {
+                    assert!(lat.mean() > 20.0, "{alg:?}/{model:?}: {}", lat.mean());
+                } else {
+                    assert!(lat.mean() < 30.0, "{alg:?}/{model:?}: {}", lat.mean());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_dimension_is_deterministic() {
+        let p = quick(3, 80.0).with_network_model(NetworkModel::Switched);
+        let a = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 7);
+        let b = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 7);
+        assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
     }
 
     #[test]

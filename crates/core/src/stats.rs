@@ -114,7 +114,13 @@ pub struct Running {
 impl Running {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -168,7 +174,11 @@ impl Running {
     /// Panics if empty.
     pub fn summary(&self) -> Summary {
         assert!(self.n > 0, "cannot summarise zero samples");
-        Summary { mean: self.mean, var: self.variance(), n: self.n as usize }
+        Summary {
+            mean: self.mean,
+            var: self.variance(),
+            n: self.n as usize,
+        }
     }
 }
 

@@ -68,7 +68,10 @@ mod tests {
         let arr = poisson_arrivals(5, 500.0, Time::from_secs(40), &senders, 3);
         let expected = 500.0 * 40.0;
         let got = arr.len() as f64;
-        assert!((got - expected).abs() < 0.05 * expected, "got {got}, expected ≈ {expected}");
+        assert!(
+            (got - expected).abs() < 0.05 * expected,
+            "got {got}, expected ≈ {expected}"
+        );
     }
 
     #[test]

@@ -190,14 +190,7 @@ pub fn suspicion_steady_plan(
     plan
 }
 
-fn push_interval(
-    plan: &mut Vec<PlanEntry>,
-    q: Pid,
-    p: Pid,
-    start: u64,
-    end: u64,
-    horizon: Time,
-) {
+fn push_interval(plan: &mut Vec<PlanEntry>, q: Pid, p: Pid, start: u64, end: u64, horizon: Time) {
     plan.push((Time::from_micros(start), q, FdEvent::Suspect(p)));
     let end = end.min(horizon.as_micros());
     plan.push((Time::from_micros(end), q, FdEvent::Trust(p)));
@@ -229,8 +222,7 @@ mod tests {
 
     #[test]
     fn crash_transient_fires_detection_time_after_crash() {
-        let plan =
-            crash_transient_plan(3, Pid::new(0), Time::from_secs(5), Dur::from_millis(100));
+        let plan = crash_transient_plan(3, Pid::new(0), Time::from_secs(5), Dur::from_millis(100));
         assert_eq!(plan.len(), 2);
         for (t, q, ev) in &plan {
             assert_eq!(*t, Time::from_secs(5) + Dur::from_millis(100));
@@ -289,9 +281,13 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.len() % 2, 0);
         // Every suspect is matched by a trust at the same instant.
-        let suspects = plan.iter().filter(|(_, _, e)| matches!(e, FdEvent::Suspect(_)));
-        let trusts: Vec<_> =
-            plan.iter().filter(|(_, _, e)| matches!(e, FdEvent::Trust(_))).collect();
+        let suspects = plan
+            .iter()
+            .filter(|(_, _, e)| matches!(e, FdEvent::Suspect(_)));
+        let trusts: Vec<_> = plan
+            .iter()
+            .filter(|(_, _, e)| matches!(e, FdEvent::Trust(_)))
+            .collect();
         for (i, (t, q, _)) in suspects.enumerate() {
             assert_eq!(trusts[i].0, *t);
             assert_eq!(trusts[i].1, *q);
@@ -301,8 +297,9 @@ mod tests {
     #[test]
     fn suspicion_plan_mistake_rate_tracks_tmr() {
         let tmr = Dur::from_millis(200);
-        let params =
-            QosParams::new().with_mistake_recurrence(tmr).with_mistake_duration(Dur::ZERO);
+        let params = QosParams::new()
+            .with_mistake_recurrence(tmr)
+            .with_mistake_duration(Dur::ZERO);
         let horizon = Time::from_secs(400);
         let plan = suspicion_steady_plan(2, horizon, params, 11);
         // 2 ordered pairs × (400 s / 0.2 s) ≈ 4000 mistakes expected;

@@ -20,6 +20,6 @@ mod machine;
 mod msg;
 mod view;
 
-pub use machine::{Membership, UnstableSupplier};
+pub use machine::{Membership, UnstableSupplier, VcSnapshot};
 pub use msg::{GmAction, GmMsg, Unstable, ViewProposal};
 pub use view::{View, ViewId};

@@ -39,12 +39,18 @@ use crate::view::{View, ViewId};
 /// the machine needs to flush.
 pub type UnstableSupplier<'a, U> = &'a mut dyn FnMut() -> U;
 
+/// Diagnostic snapshot of an in-progress view change:
+/// `(excluded, joining, exchanges, proposed, consensus state)`.
+pub type VcSnapshot = (usize, usize, usize, bool, (u32, &'static str, usize, usize));
+
 #[derive(Clone, Debug)]
 enum Mode {
     Member,
     /// Excluded: `known` is the most recent view we know of (where to
     /// send join requests).
-    Excluded { known: View },
+    Excluded {
+        known: View,
+    },
 }
 
 #[derive(Debug)]
@@ -82,7 +88,10 @@ impl<U: Unstable> Membership<U> {
     ///
     /// Panics if `me` is not a member of `view`.
     pub fn new(me: Pid, view: View, suspects: &SuspectSet) -> Self {
-        assert!(view.contains(me), "process must start as a member of its view");
+        assert!(
+            view.contains(me),
+            "process must start as a member of its view"
+        );
         Membership {
             me,
             universe: view.members().clone(),
@@ -122,9 +131,15 @@ impl<U: Unstable> Membership<U> {
     /// Diagnostic snapshot of an in-progress view change:
     /// `(excluded, joining, exchanges, proposed, consensus state)`.
     #[doc(hidden)]
-    pub fn debug_vc(&self) -> Option<(usize, usize, usize, bool, (u32, &'static str, usize, usize))> {
+    pub fn debug_vc(&self) -> Option<VcSnapshot> {
         self.vc.as_ref().map(|vc| {
-            (vc.excluded.len(), vc.joining.len(), vc.exchanges.len(), vc.proposed, vc.cons.debug_state())
+            (
+                vc.excluded.len(),
+                vc.joining.len(),
+                vc.exchanges.len(),
+                vc.proposed,
+                vc.cons.debug_state(),
+            )
         })
     }
 
@@ -214,7 +229,12 @@ impl<U: Unstable> Membership<U> {
         out: &mut Vec<GmAction<U>>,
     ) {
         match msg {
-            GmMsg::Flush { view, excluded, joining, unstable: u } => {
+            GmMsg::Flush {
+                view,
+                excluded,
+                joining,
+                unstable: u,
+            } => {
                 if !self.is_member() {
                     return;
                 }
@@ -223,7 +243,12 @@ impl<U: Unstable> Membership<U> {
                     std::cmp::Ordering::Greater => self.buffer(
                         view,
                         from,
-                        GmMsg::Flush { view, excluded, joining, unstable: u },
+                        GmMsg::Flush {
+                            view,
+                            excluded,
+                            joining,
+                            unstable: u,
+                        },
                     ),
                     std::cmp::Ordering::Equal => {
                         if self.needs_poll {
@@ -231,7 +256,12 @@ impl<U: Unstable> Membership<U> {
                             self.buffer(
                                 view,
                                 from,
-                                GmMsg::Flush { view, excluded, joining, unstable: u },
+                                GmMsg::Flush {
+                                    view,
+                                    excluded,
+                                    joining,
+                                    unstable: u,
+                                },
                             );
                             return;
                         }
@@ -335,7 +365,9 @@ impl<U: Unstable> Membership<U> {
     /// [`GmAction::Readmitted`] arrives (members that still suspect us
     /// ignore the request).
     pub fn request_join(&mut self, out: &mut Vec<GmAction<U>>) {
-        let Mode::Excluded { known } = &self.mode else { return };
+        let Mode::Excluded { known } = &self.mode else {
+            return;
+        };
         if self.join_attempts == 0 {
             // First attempt: ask every member of the view that excluded
             // us (the common case: the group is stable and any of them
@@ -350,8 +382,12 @@ impl<U: Unstable> Membership<U> {
             // a time — the excluding view may have been superseded, and
             // flooding everyone on every retry would saturate the very
             // network the view change needs.
-            let candidates: Vec<Pid> =
-                self.universe.iter().copied().filter(|&m| m != self.me).collect();
+            let candidates: Vec<Pid> = self
+                .universe
+                .iter()
+                .copied()
+                .filter(|&m| m != self.me)
+                .collect();
             if let Some(&target) =
                 candidates.get(self.join_attempts as usize % candidates.len().max(1))
             {
@@ -387,7 +423,12 @@ impl<U: Unstable> Membership<U> {
         };
         out.push(GmAction::Multicast(
             self.view.others(self.me),
-            GmMsg::Flush { view: self.view.id(), excluded, joining, unstable: u },
+            GmMsg::Flush {
+                view: self.view.id(),
+                excluded,
+                joining,
+                unstable: u,
+            },
         ));
         self.vc = Some(vc);
         self.check_propose(out);
@@ -404,9 +445,7 @@ impl<U: Unstable> Membership<U> {
             .members()
             .iter()
             .copied()
-            .filter(|&p| {
-                !vc.excluded.contains(&p) && (p == me || !self.suspects.is_suspected(p))
-            })
+            .filter(|&p| !vc.excluded.contains(&p) && (p == me || !self.suspects.is_suspected(p)))
             .collect();
         if !wait_set.iter().all(|p| vc.exchanges.contains_key(p)) {
             return;
@@ -419,7 +458,12 @@ impl<U: Unstable> Membership<U> {
             .copied()
             .filter(|p| !vc.excluded.contains(p))
             .collect();
-        members.extend(vc.joining.iter().copied().filter(|j| !vc.excluded.contains(j)));
+        members.extend(
+            vc.joining
+                .iter()
+                .copied()
+                .filter(|j| !vc.excluded.contains(j)),
+        );
         if members.is_empty() {
             members.insert(self.me); // never propose an empty view
         }
@@ -430,7 +474,8 @@ impl<U: Unstable> Membership<U> {
         }
         let cons_out = {
             let mut cons_out = Vec::new();
-            vc.cons.propose(ViewProposal { members, unstable }, &mut cons_out);
+            vc.cons
+                .propose(ViewProposal { members, unstable }, &mut cons_out);
             cons_out
         };
         self.pump_cons(cons_out, out);
@@ -447,12 +492,21 @@ impl<U: Unstable> Membership<U> {
         for a in cons_out {
             match a {
                 ConsensusAction::Send(p, m) => {
-                    out.push(GmAction::Send(p, GmMsg::Cons { view: vid, inner: m }));
+                    out.push(GmAction::Send(
+                        p,
+                        GmMsg::Cons {
+                            view: vid,
+                            inner: m,
+                        },
+                    ));
                 }
                 ConsensusAction::Multicast(m) => {
                     out.push(GmAction::Multicast(
                         others.clone(),
-                        GmMsg::Cons { view: vid, inner: m },
+                        GmMsg::Cons {
+                            view: vid,
+                            inner: m,
+                        },
                     ));
                 }
                 ConsensusAction::Decided(p) => decided = Some(p),
@@ -494,7 +548,9 @@ impl<U: Unstable> Membership<U> {
             self.mode = Mode::Member;
             self.needs_poll = true;
         } else {
-            self.mode = Mode::Excluded { known: new_view.clone() };
+            self.mode = Mode::Excluded {
+                known: new_view.clone(),
+            };
             self.join_attempts = 0;
             out.push(GmAction::Excluded { view: new_view });
         }

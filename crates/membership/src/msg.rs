@@ -119,8 +119,14 @@ mod tests {
 
     #[test]
     fn proposal_ordering_is_total() {
-        let a = ViewProposal { members: BTreeSet::from([Pid::new(0)]), unstable: BTreeSet::from([1u32]) };
-        let b = ViewProposal { members: BTreeSet::from([Pid::new(0)]), unstable: BTreeSet::from([2u32]) };
+        let a = ViewProposal {
+            members: BTreeSet::from([Pid::new(0)]),
+            unstable: BTreeSet::from([1u32]),
+        };
+        let b = ViewProposal {
+            members: BTreeSet::from([Pid::new(0)]),
+            unstable: BTreeSet::from([2u32]),
+        };
         assert!(a < b);
     }
 }

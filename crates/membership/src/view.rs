@@ -49,7 +49,10 @@ impl View {
     /// discovery is out of scope, as in the paper: the initial
     /// membership is agreed upon out of band.)
     pub fn initial(n: usize) -> Self {
-        View { id: ViewId(0), members: Pid::all(n).collect() }
+        View {
+            id: ViewId(0),
+            members: Pid::all(n).collect(),
+        }
     }
 
     /// A view with the given id and members.

@@ -11,13 +11,20 @@ type U = BTreeSet<u32>;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Event {
-    Install { view: View, unstable: U, joined: BTreeSet<Pid> },
-    Excluded { view: View },
-    Readmitted { view: View },
+    Install {
+        view: View,
+        unstable: U,
+        joined: BTreeSet<Pid>,
+    },
+    Excluded {
+        view: View,
+    },
+    Readmitted {
+        view: View,
+    },
 }
 
 struct Cluster {
-    n: usize,
     ms: Vec<Membership<U>>,
     unstable: Vec<U>,
     inbox: VecDeque<(Pid, Pid, GmMsg<U>)>,
@@ -31,7 +38,6 @@ impl Cluster {
     fn new(n: usize) -> Self {
         let view = View::initial(n);
         Cluster {
-            n,
             ms: (0..n)
                 .map(|i| Membership::new(Pid::new(i), view.clone(), &fdet::SuspectSet::new()))
                 .collect(),
@@ -51,11 +57,19 @@ impl Cluster {
                         self.inbox.push_back((Pid::new(from), to, m.clone()));
                     }
                 }
-                GmAction::Install { view, unstable, joined } => {
+                GmAction::Install {
+                    view,
+                    unstable,
+                    joined,
+                } => {
                     // The layer above delivers `unstable` and starts the
                     // new view with an empty unstable set.
                     self.unstable[from].clear();
-                    self.events[from].push(Event::Install { view, unstable, joined });
+                    self.events[from].push(Event::Install {
+                        view,
+                        unstable,
+                        joined,
+                    });
                 }
                 GmAction::Excluded { view } => {
                     self.events[from].push(Event::Excluded { view });
@@ -107,7 +121,9 @@ impl Cluster {
     fn drive_bounded(&mut self, max: usize) -> usize {
         let mut steps = 0;
         while steps < max {
-            let Some((from, to, m)) = self.inbox.pop_front() else { break };
+            let Some((from, to, m)) = self.inbox.pop_front() else {
+                break;
+            };
             steps += 1;
             let i = to.index();
             let u = self.unstable[i].clone();
@@ -145,11 +161,18 @@ fn suspicion_excludes_the_suspect() {
     c.suspect(0, 2);
     c.drive();
     for i in [0, 1] {
-        assert_eq!(c.members_of_current(i), Cluster::pids(&[0, 1]), "at p{}", i + 1);
+        assert_eq!(
+            c.members_of_current(i),
+            Cluster::pids(&[0, 1]),
+            "at p{}",
+            i + 1
+        );
     }
     // The excluded (correct) process learnt of its exclusion from the
     // consensus decision it took part in.
-    assert!(matches!(c.events[2].last(), Some(Event::Excluded { view }) if !view.contains(Pid::new(2))));
+    assert!(
+        matches!(c.events[2].last(), Some(Event::Excluded { view }) if !view.contains(Pid::new(2)))
+    );
 }
 
 #[test]
@@ -162,11 +185,20 @@ fn excluded_process_rejoins_and_is_welcomed() {
     // ...then everything settles with p3 back in.
     c.drive();
     for i in 0..3 {
-        assert_eq!(c.members_of_current(i), Cluster::pids(&[0, 1, 2]), "at p{}", i + 1);
+        assert_eq!(
+            c.members_of_current(i),
+            Cluster::pids(&[0, 1, 2]),
+            "at p{}",
+            i + 1
+        );
     }
     let p3_events = &c.events[2];
-    assert!(p3_events.iter().any(|e| matches!(e, Event::Excluded { .. })));
-    assert!(p3_events.iter().any(|e| matches!(e, Event::Readmitted { .. })));
+    assert!(p3_events
+        .iter()
+        .any(|e| matches!(e, Event::Excluded { .. })));
+    assert!(p3_events
+        .iter()
+        .any(|e| matches!(e, Event::Readmitted { .. })));
 }
 
 #[test]
@@ -215,7 +247,12 @@ fn concurrent_suspicions_merge_into_the_view_change() {
     c.suspect(1, 3);
     c.drive();
     for i in [0, 1, 2] {
-        assert_eq!(c.members_of_current(i), Cluster::pids(&[0, 1, 2]), "at p{}", i + 1);
+        assert_eq!(
+            c.members_of_current(i),
+            Cluster::pids(&[0, 1, 2]),
+            "at p{}",
+            i + 1
+        );
     }
 }
 
@@ -228,8 +265,9 @@ fn unstable_messages_are_united_in_the_install() {
     c.unstable[2] = [3].into();
     c.suspect(0, 2);
     c.drive();
-    let Some(Event::Install { unstable, .. }) =
-        c.events[1].iter().find(|e| matches!(e, Event::Install { .. }))
+    let Some(Event::Install { unstable, .. }) = c.events[1]
+        .iter()
+        .find(|e| matches!(e, Event::Install { .. }))
     else {
         panic!("p2 installed no view");
     };
@@ -260,7 +298,12 @@ fn same_unstable_set_delivered_by_all_members() {
             .collect();
         let first = installs[0].expect("p1 installed");
         for (i, u) in installs.iter().enumerate() {
-            assert_eq!(u.expect("installed"), first, "p{} delivered a different union", i + 1);
+            assert_eq!(
+                u.expect("installed"),
+                first,
+                "p{} delivered a different union",
+                i + 1
+            );
         }
     }
 }
@@ -282,7 +325,11 @@ fn welcome_resent_when_join_arrives_from_a_member() {
     // Simulate a stale Join arriving anyway.
     c.inbox.push_back((Pid::new(2), Pid::new(0), GmMsg::Join));
     c.drive();
-    assert_eq!(c.installed_views(0).len(), views_before, "no extra view change");
+    assert_eq!(
+        c.installed_views(0).len(),
+        views_before,
+        "no extra view change"
+    );
 }
 
 #[test]

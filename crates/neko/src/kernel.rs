@@ -6,12 +6,14 @@
 //! while the simulator holds `&mut` to the process itself.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, BTreeSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::RngCore;
 
-use crate::net::{Cpu, CpuJob, NetParams, NetRes, NetStats, SendJob};
+use crate::net::{
+    build_topology, Cpu, CpuJob, LinkId, NetFx, NetParams, NetStats, SendJob, Topology,
+};
 use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId};
 use crate::rng::stream_rng;
 use crate::time::{Dur, Time};
@@ -31,8 +33,10 @@ pub(crate) enum Ev<M, C> {
     Crash { at: Pid },
     /// The CPU of host `at` finished its current job.
     CpuDone { at: Pid },
-    /// The shared network finished transmitting its current message.
-    NetDone,
+    /// The wire resource `link` finished transmitting its current
+    /// message (the shared medium, one switch link, one WAN pair —
+    /// whatever the topology model maps the id to).
+    NetDone { link: LinkId },
 }
 
 pub(crate) struct Scheduled<M, C> {
@@ -68,7 +72,9 @@ pub(crate) struct Kernel<M: Message, C, O> {
     n: usize,
     params: NetParams,
     cpus: Vec<Cpu<M>>,
-    net: NetRes<M>,
+    net: Box<dyn Topology<M>>,
+    /// Scratch effect buffers, drained after every topology call.
+    fx: NetFx<M>,
     pub(crate) crashed: Vec<Option<Time>>,
     suspects: Vec<u64>,
     cancelled_timers: BTreeSet<u64>,
@@ -80,7 +86,7 @@ pub(crate) struct Kernel<M: Message, C, O> {
 
 impl<M: Message, C, O> Kernel<M, C, O> {
     pub(crate) fn new(n: usize, params: NetParams, seed: u64) -> Self {
-        assert!(n >= 1 && n <= 64, "n must be in 1..=64");
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
         Kernel {
             now: Time::ZERO,
             seq: 0,
@@ -88,12 +94,15 @@ impl<M: Message, C, O> Kernel<M, C, O> {
             n,
             params,
             cpus: (0..n).map(|_| Cpu::new()).collect(),
-            net: NetRes::new(),
+            net: build_topology(&params, n, seed),
+            fx: NetFx::default(),
             crashed: vec![None; n],
             suspects: vec![0; n],
             cancelled_timers: BTreeSet::new(),
             next_timer: 0,
-            rngs: (0..n).map(|i| stream_rng(seed, 0x5EED_0000 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| stream_rng(seed, 0x5EED_0000 + i as u64))
+                .collect(),
             outputs: Vec::new(),
             stats: NetStats::default(),
         }
@@ -106,7 +115,11 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     pub(crate) fn schedule(&mut self, at: Time, ev: Ev<M, C>) {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq: self.seq, ev });
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
     }
 
     pub(crate) fn next_event_time(&self) -> Option<Time> {
@@ -163,7 +176,8 @@ impl<M: Message, C, O> Kernel<M, C, O> {
                 }
             }
         }
-        cpu.queue.push_back(CpuJob::Send(SendJob { from, dests, msg }));
+        cpu.queue
+            .push_back(CpuJob::Send(SendJob { from, dests, msg }));
         if !cpu.busy() {
             self.start_cpu(from);
         }
@@ -193,7 +207,14 @@ impl<M: Message, C, O> Kernel<M, C, O> {
                 if self.is_crashed(host) {
                     self.stats.dropped_to_crashed += 1;
                 } else {
-                    self.schedule(self.now, Ev::Deliver { to: host, from, msg });
+                    self.schedule(
+                        self.now,
+                        Ev::Deliver {
+                            to: host,
+                            from,
+                            msg,
+                        },
+                    );
                 }
             }
         }
@@ -203,33 +224,32 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     }
 
     fn net_enqueue(&mut self, job: SendJob<M>) {
-        if self.net.busy() {
-            self.net.queue.push_back(job);
-        } else {
-            self.start_net(job);
-        }
+        let mut fx = std::mem::take(&mut self.fx);
+        self.net.submit(self.now, job, &mut fx, &mut self.stats);
+        self.apply_net_fx(&mut fx);
+        self.fx = fx;
     }
 
-    fn start_net(&mut self, job: SendJob<M>) {
-        debug_assert!(!self.net.busy());
-        self.net.in_service = Some(job);
-        let done_at = self.now + self.params.net_delay();
-        self.schedule(done_at, Ev::NetDone);
+    pub(crate) fn net_done(&mut self, link: LinkId) {
+        let mut fx = std::mem::take(&mut self.fx);
+        self.net.complete(self.now, link, &mut fx, &mut self.stats);
+        self.apply_net_fx(&mut fx);
+        self.fx = fx;
     }
 
-    pub(crate) fn net_done(&mut self) {
-        self.stats.net_busy += self.params.net_delay();
-        self.stats.wire_messages += 1;
-        let job = self.net.in_service.take().expect("NetDone for an idle network");
-        for dest in job.dests.iter() {
+    /// Applies topology effects in order: deliveries reach destination
+    /// CPUs first (matching the event order of the original
+    /// single-medium kernel), then wire completions are scheduled.
+    fn apply_net_fx(&mut self, fx: &mut NetFx<M>) {
+        for (dest, from, msg) in fx.deliver.drain(..) {
             let cpu = &mut self.cpus[dest.index()];
-            cpu.queue.push_back(CpuJob::Recv { from: job.from, msg: job.msg.clone() });
+            cpu.queue.push_back(CpuJob::Recv { from, msg });
             if !cpu.busy() {
                 self.start_cpu(dest);
             }
         }
-        if let Some(next) = self.net.queue.pop_front() {
-            self.start_net(next);
+        for (at, link) in fx.schedule.drain(..) {
+            self.schedule(at, Ev::NetDone { link });
         }
     }
 
@@ -268,7 +288,14 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
         if to == self.pid {
             self.kernel.stats.self_deliveries += 1;
             let now = self.kernel.now;
-            self.kernel.schedule(now, Ev::Deliver { to, from: self.pid, msg });
+            self.kernel.schedule(
+                now,
+                Ev::Deliver {
+                    to,
+                    from: self.pid,
+                    msg,
+                },
+            );
         } else {
             let mut dests = DestSet::default();
             dests.insert(to);
@@ -290,7 +317,14 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
         if to_self {
             self.kernel.stats.self_deliveries += 1;
             let now = self.kernel.now;
-            self.kernel.schedule(now, Ev::Deliver { to: self.pid, from: self.pid, msg: msg.clone() });
+            self.kernel.schedule(
+                now,
+                Ev::Deliver {
+                    to: self.pid,
+                    from: self.pid,
+                    msg: msg.clone(),
+                },
+            );
         }
         self.kernel.send_from(self.pid, remote, msg);
     }
@@ -304,7 +338,14 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
         self.kernel.next_timer += 1;
         let id = TimerId(self.kernel.next_timer);
         let at = self.kernel.now + after;
-        self.kernel.schedule(at, Ev::Timer { at: self.pid, id, tag });
+        self.kernel.schedule(
+            at,
+            Ev::Timer {
+                at: self.pid,
+                id,
+                tag,
+            },
+        );
         id
     }
 
@@ -335,14 +376,24 @@ mod tests {
     #[test]
     fn scheduled_orders_by_time_then_seq() {
         let mut k: K = Kernel::new(2, NetParams::default(), 1);
-        k.schedule(Time::from_millis(5), Ev::NetDone);
-        k.schedule(Time::from_millis(1), Ev::NetDone);
+        k.schedule(
+            Time::from_millis(5),
+            Ev::NetDone {
+                link: LinkId::SHARED,
+            },
+        );
+        k.schedule(
+            Time::from_millis(1),
+            Ev::NetDone {
+                link: LinkId::SHARED,
+            },
+        );
         k.schedule(Time::from_millis(1), Ev::CpuDone { at: Pid::new(0) });
         let a = k.pop().unwrap();
         let b = k.pop().unwrap();
         let c = k.pop().unwrap();
         assert_eq!(a.at, Time::from_millis(1));
-        assert!(matches!(a.ev, Ev::NetDone)); // inserted first among ties
+        assert!(matches!(a.ev, Ev::NetDone { .. })); // inserted first among ties
         assert_eq!(b.at, Time::from_millis(1));
         assert!(matches!(b.ev, Ev::CpuDone { .. }));
         assert_eq!(c.at, Time::from_millis(5));

@@ -11,8 +11,13 @@
 //!
 //! * Each host has one **CPU** resource; emitting or receiving a
 //!   message occupies it for `λ` time units.
-//! * All hosts share one **network** resource; each message occupies
-//!   it for 1 time unit, and a multicast occupies it *once*.
+//! * The wire between the CPUs is a pluggable [`NetworkModel`]. The
+//!   default, [`NetworkModel::SharedMedium`], is the paper's: all
+//!   hosts share one **network** resource; each message occupies it
+//!   for 1 time unit, and a multicast occupies it *once*.
+//!   [`NetworkModel::Switched`] gives every ordered pair of hosts a
+//!   dedicated full-duplex link; [`NetworkModel::Wan`] applies a
+//!   seeded constant per-pair latency with no contention.
 //! * Messages wait in FIFO queues in front of busy resources; a
 //!   message queued at the sending CPU can be *coalesced* into the
 //!   message queued behind it ([`Message::try_merge`]).
@@ -59,7 +64,7 @@ mod rng;
 mod sim;
 mod time;
 
-pub use net::{NetParams, NetStats};
+pub use net::{NetParams, NetStats, NetworkModel, WanParams};
 pub use process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
 pub use real::{run_real, RealConfig, RealReport, RealSchedule};
 pub use rng::{derive_seed, sample_exp_micros, splitmix64, stream_rng};

@@ -201,7 +201,9 @@ impl DestSet {
     }
 
     pub(crate) fn iter(self) -> impl Iterator<Item = Pid> {
-        (0..64).filter(move |i| self.0 & (1 << i) != 0).map(Pid::new)
+        (0..64)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(Pid::new)
     }
 }
 

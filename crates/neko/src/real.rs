@@ -22,12 +22,10 @@
 //!   directly.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 
 use crate::process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
 use crate::rng::stream_rng;
@@ -86,7 +84,10 @@ pub struct RealSchedule<C> {
 impl<C> RealSchedule<C> {
     /// An empty schedule.
     pub fn new() -> Self {
-        RealSchedule { commands: Vec::new(), crashes: Vec::new() }
+        RealSchedule {
+            commands: Vec::new(),
+            crashes: Vec::new(),
+        }
     }
 
     /// Injects `cmd` into `to` at `offset` from the start.
@@ -108,6 +109,9 @@ pub struct RealReport<O> {
     /// All outputs emitted by all processes, ordered by time.
     pub outputs: Vec<(Time, Pid, O)>,
 }
+
+/// Outputs shared between the process threads and the driver.
+type SharedOutputs<O> = Arc<Mutex<Vec<(Time, Pid, O)>>>;
 
 enum Env<M, C> {
     App { from: Pid, msg: M },
@@ -135,8 +139,8 @@ where
     P::Out: Send,
 {
     let (senders, receivers): (Vec<_>, Vec<_>) =
-        (0..n).map(|_| unbounded::<Env<P::Msg, P::Cmd>>()).unzip();
-    let outputs: Arc<Mutex<Vec<(Time, Pid, P::Out)>>> = Arc::new(Mutex::new(Vec::new()));
+        (0..n).map(|_| channel::<Env<P::Msg, P::Cmd>>()).unzip();
+    let outputs: SharedOutputs<P::Out> = Arc::new(Mutex::new(Vec::new()));
     let start = Instant::now() + Duration::from_millis(10); // let all threads come up
 
     let mut handles = Vec::new();
@@ -183,9 +187,14 @@ where
         let _ = h.join();
     }
 
-    let mut out = Arc::try_unwrap(outputs)
-        .map(Mutex::into_inner)
-        .unwrap_or_else(|arc| arc.lock().drain(..).collect());
+    let mut out = match Arc::try_unwrap(outputs) {
+        Ok(m) => m.into_inner().unwrap_or_else(|p| p.into_inner()),
+        Err(arc) => arc
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect(),
+    };
     out.sort_by_key(|(t, p, _)| (*t, p.index()));
     RealReport { outputs: out }
 }
@@ -251,7 +260,10 @@ impl<M: Message, C, O> Ctx<M, O> for RealCtx<'_, M, C, O> {
         if to == self.pid {
             self.local.push((self.pid, msg));
         } else {
-            let _ = self.peers[to.index()].send(Env::App { from: self.pid, msg });
+            let _ = self.peers[to.index()].send(Env::App {
+                from: self.pid,
+                msg,
+            });
         }
     }
 
@@ -280,7 +292,10 @@ impl<M: Message, C, O> Ctx<M, O> for RealCtx<'_, M, C, O> {
 
     fn emit(&mut self, out: O) {
         let now = self.wall_now();
-        self.outputs.lock().push((now, self.pid, out));
+        self.outputs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((now, self.pid, out));
     }
 
     fn is_suspected(&self, p: Pid) -> bool {
@@ -299,7 +314,7 @@ fn shell<P>(
     mut proc: P,
     rx: Receiver<Env<P::Msg, P::Cmd>>,
     peers: Vec<Sender<Env<P::Msg, P::Cmd>>>,
-    outputs: Arc<Mutex<Vec<(Time, Pid, P::Out)>>>,
+    outputs: SharedOutputs<P::Out>,
     config: RealConfig,
     start: Instant,
 ) where
@@ -341,7 +356,11 @@ fn shell<P>(
 
     loop {
         // Self-sends are handled before anything else, in order.
-        while let Some((from, msg)) = if local.is_empty() { None } else { Some(local.remove(0)) } {
+        while let Some((from, msg)) = if local.is_empty() {
+            None
+        } else {
+            Some(local.remove(0))
+        } {
             proc.on_message(&mut ctx!(), from, msg);
         }
 
@@ -382,7 +401,9 @@ fn shell<P>(
         if let Some(t) = timers.peek() {
             deadline = deadline.min(t.fire_at);
         }
-        let timeout = deadline.saturating_duration_since(Instant::now()).min(config.hb_period);
+        let timeout = deadline
+            .saturating_duration_since(Instant::now())
+            .min(config.hb_period);
         match rx.recv_timeout(timeout.max(Duration::from_micros(200))) {
             Ok(Env::App { from, msg }) => proc.on_message(&mut ctx!(), from, msg),
             Ok(Env::Hb { from }) => {

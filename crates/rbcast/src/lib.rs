@@ -123,17 +123,26 @@ impl<M: Clone + fmt::Debug> ReliableBcast<M> {
     /// will use — callers that embed the identity inside the payload
     /// need it up front.
     pub fn next_id(&self) -> BcastId {
-        BcastId { origin: self.me, seq: self.next_seq }
+        BcastId {
+            origin: self.me,
+            seq: self.next_seq,
+        }
     }
 
     /// R-broadcasts `payload`: one multicast plus an immediate local
     /// delivery. Returns the broadcast's identity.
     pub fn broadcast(&mut self, payload: M, out: &mut Vec<RbAction<M>>) -> BcastId {
-        let id = BcastId { origin: self.me, seq: self.next_seq };
+        let id = BcastId {
+            origin: self.me,
+            seq: self.next_seq,
+        };
         self.next_seq += 1;
         self.store.insert(id, payload.clone());
         self.delivered.insert(id);
-        out.push(RbAction::Multicast(RbMsg::Data { id, payload: payload.clone() }));
+        out.push(RbAction::Multicast(RbMsg::Data {
+            id,
+            payload: payload.clone(),
+        }));
         out.push(RbAction::Deliver { id, payload });
         id
     }
@@ -157,13 +166,13 @@ impl<M: Clone + fmt::Debug> ReliableBcast<M> {
                 continue; // duplicate (e.g. a relay)
             }
             self.store.insert(id, payload.clone());
-            out.push(RbAction::Deliver { id, payload: payload.clone() });
+            out.push(RbAction::Deliver {
+                id,
+                payload: payload.clone(),
+            });
             // Lazy relay: if the origin is already suspected when the
             // message arrives, pass it on immediately.
-            if id.origin != self.me
-                && suspects.is_suspected(id.origin)
-                && self.relayed.insert(id)
-            {
+            if id.origin != self.me && suspects.is_suspected(id.origin) && self.relayed.insert(id) {
                 to_relay.push((id, payload));
             }
         }
@@ -178,7 +187,12 @@ impl<M: Clone + fmt::Debug> ReliableBcast<M> {
         }
         let to_relay: Vec<(BcastId, M)> = self
             .store
-            .range(BcastId { origin: p, seq: 0 }..=BcastId { origin: p, seq: u64::MAX })
+            .range(
+                BcastId { origin: p, seq: 0 }..=BcastId {
+                    origin: p,
+                    seq: u64::MAX,
+                },
+            )
             .filter(|(id, _)| !self.relayed.contains(id))
             .map(|(id, m)| (*id, m.clone()))
             .collect();
@@ -210,7 +224,10 @@ impl<M: Clone + fmt::Debug> ReliableBcast<M> {
     /// Returns a retransmittable copy of a retained message, if any
     /// (used to help processes that are behind).
     pub fn message_for(&self, id: BcastId) -> Option<RbMsg<M>> {
-        self.store.get(&id).map(|payload| RbMsg::Data { id, payload: payload.clone() })
+        self.store.get(&id).map(|payload| RbMsg::Data {
+            id,
+            payload: payload.clone(),
+        })
     }
 
     /// Whether `id` has been delivered locally.
@@ -249,7 +266,9 @@ mod tests {
         let mut out = Vec::new();
         let id = rb.broadcast(7u64, &mut out);
         assert_eq!(out.len(), 2);
-        assert!(matches!(&out[0], RbAction::Multicast(RbMsg::Data { id: i, payload: 7 }) if *i == id));
+        assert!(
+            matches!(&out[0], RbAction::Multicast(RbMsg::Data { id: i, payload: 7 }) if *i == id)
+        );
         assert!(matches!(&out[1], RbAction::Deliver { id: i, payload: 7 } if *i == id));
         assert!(rb.has_delivered(id));
     }
@@ -273,7 +292,12 @@ mod tests {
         let mut b = ReliableBcast::new(Pid::new(1));
         let mut out = Vec::new();
         let id = BcastId { origin: p0, seq: 0 };
-        b.on_message(p0, RbMsg::Data { id, payload: 5u64 }, &no_suspects(), &mut out);
+        b.on_message(
+            p0,
+            RbMsg::Data { id, payload: 5u64 },
+            &no_suspects(),
+            &mut out,
+        );
         out.clear();
         b.on_suspect(p0, &mut out);
         assert_eq!(out.len(), 1);
@@ -306,13 +330,23 @@ mod tests {
         let mut b = ReliableBcast::new(Pid::new(1));
         let mut out = Vec::new();
         let id = BcastId { origin: p0, seq: 0 };
-        b.on_message(p0, RbMsg::Data { id, payload: 5u64 }, &no_suspects(), &mut out);
+        b.on_message(
+            p0,
+            RbMsg::Data { id, payload: 5u64 },
+            &no_suspects(),
+            &mut out,
+        );
         b.forget(id);
         assert_eq!(b.retained(), 0);
         out.clear();
         b.on_suspect(p0, &mut out);
         assert!(out.is_empty());
-        b.on_message(p0, RbMsg::Data { id, payload: 5u64 }, &no_suspects(), &mut out);
+        b.on_message(
+            p0,
+            RbMsg::Data { id, payload: 5u64 },
+            &no_suspects(),
+            &mut out,
+        );
         assert!(out.is_empty(), "forgotten message must not be redelivered");
     }
 
@@ -324,7 +358,10 @@ mod tests {
             for seq in 0..3 {
                 b.on_message(
                     origin,
-                    RbMsg::Data { id: BcastId { origin, seq }, payload: seq },
+                    RbMsg::Data {
+                        id: BcastId { origin, seq },
+                        payload: seq,
+                    },
                     &no_suspects(),
                     &mut out,
                 );
@@ -422,12 +459,12 @@ mod tests {
             let mut pending_suspicions: Vec<usize> = (1..n).collect();
 
             while !in_flight.is_empty() || !pending_suspicions.is_empty() {
-                let act_suspicion = in_flight.is_empty()
-                    || (!pending_suspicions.is_empty() && rng.gen_bool(0.3));
+                let act_suspicion =
+                    in_flight.is_empty() || (!pending_suspicions.is_empty() && rng.gen_bool(0.3));
                 let mut out = Vec::new();
                 if act_suspicion {
-                    let i = pending_suspicions
-                        .swap_remove(rng.gen_range(0..pending_suspicions.len()));
+                    let i =
+                        pending_suspicions.swap_remove(rng.gen_range(0..pending_suspicions.len()));
                     suspects[i].apply(FdEvent::Suspect(origin));
                     procs[i].on_suspect(origin, &mut out);
                     route(i, out, n, &mut in_flight, &mut delivered);
@@ -439,7 +476,10 @@ mod tests {
             }
 
             for i in 1..n {
-                assert_eq!(delivered[i], delivered[lucky], "seed {seed}: process {i} diverged");
+                assert_eq!(
+                    delivered[i], delivered[lucky],
+                    "seed {seed}: process {i} diverged"
+                );
             }
         }
     }

@@ -22,7 +22,10 @@ fn main() {
 
     println!("crash-transient scenario: n = {n}, T = {throughput}/s, crash of p1");
     println!("(overhead = latency − T_D, in ms — paper Fig. 8)\n");
-    println!("{:>10} {:>16} {:>16}", "T_D [ms]", "FD overhead", "GM overhead");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "T_D [ms]", "FD overhead", "GM overhead"
+    );
     for td in [0u64, 10, 100] {
         let spec = ScenarioSpec::CrashTransient {
             crash: Pid::new(0),
@@ -63,9 +66,21 @@ fn main() {
             .expect("sustainable")
     };
     let three = vec![Pid::new(4), Pid::new(5), Pid::new(6)];
-    println!("{:>26} {:>9.2} ms", "no crash", steady(Algorithm::Fd, vec![]));
-    println!("{:>26} {:>9.2} ms", "FD, 3 crashed", steady(Algorithm::Fd, three.clone()));
-    println!("{:>26} {:>9.2} ms", "GM, 3 crashed", steady(Algorithm::Gm, three));
+    println!(
+        "{:>26} {:>9.2} ms",
+        "no crash",
+        steady(Algorithm::Fd, vec![])
+    );
+    println!(
+        "{:>26} {:>9.2} ms",
+        "FD, 3 crashed",
+        steady(Algorithm::Fd, three.clone())
+    );
+    println!(
+        "{:>26} {:>9.2} ms",
+        "GM, 3 crashed",
+        steady(Algorithm::Gm, three)
+    );
     println!("\nLong after the crashes the survivors are faster than before (less");
     println!("load), and the GM algorithm beats FD: its sequencer waits for a");
     println!("majority of the 4-member view while the FD coordinator still needs");

@@ -10,7 +10,10 @@ use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
 fn main() {
     println!("Atomic broadcast latency, normal-steady scenario");
     println!("(network time unit 1 ms, λ = 1, Poisson arrivals — paper Fig. 4)\n");
-    println!("{:>5} {:>12} {:>22} {:>22}", "n", "load [1/s]", "FD algorithm [ms]", "GM algorithm [ms]");
+    println!(
+        "{:>5} {:>12} {:>22} {:>22}",
+        "n", "load [1/s]", "FD algorithm [ms]", "GM algorithm [ms]"
+    );
 
     for n in [3, 7] {
         for throughput in [10.0, 100.0, 300.0, 500.0, 700.0] {

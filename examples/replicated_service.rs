@@ -37,8 +37,9 @@ fn apply(log: &[String]) -> BTreeMap<String, u64> {
 fn main() {
     let n = 3;
     let suspects = SuspectSet::new();
-    let mut sim =
-        SimBuilder::new(n).seed(7).build_with(|p| FdNode::<String>::new(p, n, &suspects));
+    let mut sim = SimBuilder::new(n)
+        .seed(7)
+        .build_with(|p| FdNode::<String>::new(p, n, &suspects));
 
     // Clients send SETs through different replicas; two writers race
     // on the same key, so replicas agree only if the order is total.
@@ -47,13 +48,18 @@ fn main() {
         let replica = Pid::new((i % 3) as usize);
         sim.schedule_command(t, replica, set(&format!("k{}", i % 5), i));
         sim.schedule_command(t, Pid::new(((i + 1) % 3) as usize), set("contended", i));
-        t = t + Dur::from_millis(7);
+        t += Dur::from_millis(7);
     }
 
     // Replica p3 crashes mid-run; detection 20 ms later.
     let crash_at = Time::from_millis(100);
     sim.schedule_crash(crash_at, Pid::new(2));
-    sim.schedule_fd_plan(fdet::crash_transient_plan(n, Pid::new(2), crash_at, Dur::from_millis(20)));
+    sim.schedule_fd_plan(fdet::crash_transient_plan(
+        n,
+        Pid::new(2),
+        crash_at,
+        Dur::from_millis(20),
+    ));
 
     sim.run_until(Time::from_secs(2));
 
@@ -83,6 +89,9 @@ fn main() {
     println!("  commands delivered : {}", logs[0].len());
     println!("  final state        : {} keys", reference.len());
     println!("  contended key      : {:?}", reference.get("contended"));
-    println!("  crashed replica log: {} commands (prefix of the group's)", logs[2].len());
+    println!(
+        "  crashed replica log: {} commands (prefix of the group's)",
+        logs[2].len()
+    );
     println!("all surviving replicas applied the same command sequence ✓");
 }

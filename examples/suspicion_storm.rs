@@ -20,7 +20,10 @@ fn main() {
     let throughput = 10.0;
     println!("suspicion-steady scenario: n = {n}, T = {throughput}/s, T_M = 0");
     println!("(mean latency in ms; 'saturated' = cannot sustain the load — paper Fig. 6)\n");
-    println!("{:>12} {:>16} {:>16}", "T_MR [ms]", "FD algorithm", "GM algorithm");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "T_MR [ms]", "FD algorithm", "GM algorithm"
+    );
 
     for tmr_ms in [10u64, 30, 100, 300, 1_000, 10_000, 100_000] {
         let qos = QosParams::new()

@@ -40,7 +40,11 @@ fn assert_uniform_total_order(logs: &[Vec<(MsgId, u64)>], label: &str) {
     for (i, log) in logs.iter().enumerate() {
         let mut seen = std::collections::BTreeSet::new();
         for (id, _) in log {
-            assert!(seen.insert(*id), "{label}: duplicate delivery of {id} at p{}", i + 1);
+            assert!(
+                seen.insert(*id),
+                "{label}: duplicate delivery of {id} at p{}",
+                i + 1
+            );
         }
     }
 }
@@ -68,8 +72,9 @@ fn total_order_under_wrong_suspicions_fd() {
     for seed in [1u64, 2, 3] {
         let n = 3;
         let s = SuspectSet::new();
-        let mut sim =
-            SimBuilder::new(n).seed(seed).build_with(|p| FdNode::<u64>::new(p, n, &s));
+        let mut sim = SimBuilder::new(n)
+            .seed(seed)
+            .build_with(|p| FdNode::<u64>::new(p, n, &s));
         let horizon = Time::from_secs(3);
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(100))
@@ -86,8 +91,9 @@ fn total_order_under_wrong_suspicions_gm() {
     for seed in [1u64, 2, 3] {
         let n = 3;
         let s = SuspectSet::new();
-        let mut sim =
-            SimBuilder::new(n).seed(seed).build_with(|p| GmNode::<u64>::new(p, n, &s));
+        let mut sim = SimBuilder::new(n)
+            .seed(seed)
+            .build_with(|p| GmNode::<u64>::new(p, n, &s));
         let horizon = Time::from_secs(3);
         // Mistakes rare enough for the group to keep working, frequent
         // enough to force several exclusion/rejoin cycles.
@@ -109,8 +115,12 @@ fn total_order_across_a_crash_both_algorithms() {
     let horizon = Time::from_secs(2);
 
     let s = SuspectSet::new();
-    let mut fd = SimBuilder::new(n).seed(11).build_with(|p| FdNode::<u64>::new(p, n, &s));
-    let mut gm = SimBuilder::new(n).seed(11).build_with(|p| GmNode::<u64>::new(p, n, &s));
+    let mut fd = SimBuilder::new(n)
+        .seed(11)
+        .build_with(|p| FdNode::<u64>::new(p, n, &s));
+    let mut gm = SimBuilder::new(n)
+        .seed(11)
+        .build_with(|p| GmNode::<u64>::new(p, n, &s));
     for sim_logs in [
         {
             fd.schedule_crash(crash_at, Pid::new(0));
@@ -126,7 +136,10 @@ fn total_order_across_a_crash_both_algorithms() {
         assert_uniform_total_order(&sim_logs, "crash of the coordinator/sequencer");
         // The survivors keep delivering after the crash.
         let survivor = &sim_logs[1];
-        assert!(survivor.len() > sim_logs[0].len(), "survivors outlive the crashed process");
+        assert!(
+            survivor.len() > sim_logs[0].len(),
+            "survivors outlive the crashed process"
+        );
     }
 }
 
@@ -151,8 +164,9 @@ fn same_seed_reproduces_the_exact_run() {
     let run = |seed: u64| {
         let n = 3;
         let s = SuspectSet::new();
-        let mut sim =
-            SimBuilder::new(n).seed(seed).build_with(|p| FdNode::<u64>::new(p, n, &s));
+        let mut sim = SimBuilder::new(n)
+            .seed(seed)
+            .build_with(|p| FdNode::<u64>::new(p, n, &s));
         let horizon = Time::from_secs(1);
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(200))
@@ -175,7 +189,9 @@ fn validity_every_broadcast_from_correct_process_is_delivered() {
     // process (no crashes, no suspicions, load below saturation).
     let n = 3;
     let s = SuspectSet::new();
-    let mut sim = SimBuilder::new(n).seed(9).build_with(|p| GmNode::<u64>::new(p, n, &s));
+    let mut sim = SimBuilder::new(n)
+        .seed(9)
+        .build_with(|p| GmNode::<u64>::new(p, n, &s));
     let horizon = Time::from_secs(2);
     let senders: Vec<Pid> = Pid::all(n).collect();
     let arrivals = poisson_arrivals(n, 200.0, horizon, &senders, 9);
@@ -194,10 +210,20 @@ fn validity_every_broadcast_from_correct_process_is_delivered() {
 fn gm_view_shrinks_and_recovers_through_real_membership_changes() {
     let n = 3;
     let s = SuspectSet::new();
-    let mut sim = SimBuilder::new(n).seed(2).build_with(|p| GmNode::<u64>::new(p, n, &s));
+    let mut sim = SimBuilder::new(n)
+        .seed(2)
+        .build_with(|p| GmNode::<u64>::new(p, n, &s));
     // One wrong suspicion: p1 suspects p3 at 100 ms, corrected at 200 ms.
-    sim.schedule_fd_event(Time::from_millis(100), Pid::new(0), neko::FdEvent::Suspect(Pid::new(2)));
-    sim.schedule_fd_event(Time::from_millis(200), Pid::new(0), neko::FdEvent::Trust(Pid::new(2)));
+    sim.schedule_fd_event(
+        Time::from_millis(100),
+        Pid::new(0),
+        neko::FdEvent::Suspect(Pid::new(2)),
+    );
+    sim.schedule_fd_event(
+        Time::from_millis(200),
+        Pid::new(0),
+        neko::FdEvent::Trust(Pid::new(2)),
+    );
     for i in 0..40u64 {
         sim.schedule_command(Time::from_millis(5 + i * 20), Pid::new((i % 3) as usize), i);
     }
@@ -210,5 +236,8 @@ fn gm_view_shrinks_and_recovers_through_real_membership_changes() {
     let node = sim.process(Pid::new(2));
     assert!(!node.algorithm().is_excluded());
     assert!(!node.algorithm().is_catching_up());
-    assert!(node.algorithm().view().id() > membership::ViewId(0), "views really changed");
+    assert!(
+        node.algorithm().view().id() > membership::ViewId(0),
+        "views really changed"
+    );
 }

@@ -19,16 +19,22 @@ struct Scenario {
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    (3usize..=7, 10f64..200.0, 50u64..5_000, 0u64..50, 0usize..=2, any::<u64>()).prop_map(
-        |(n, throughput, tmr_ms, tm_ms, crashes, seed)| Scenario {
+    (
+        3usize..=7,
+        10f64..200.0,
+        50u64..5_000,
+        0u64..50,
+        0usize..=2,
+        any::<u64>(),
+    )
+        .prop_map(|(n, throughput, tmr_ms, tm_ms, crashes, seed)| Scenario {
             n,
             throughput,
             tmr_ms,
             tm_ms,
             crashes: crashes.min((n - 1) / 2),
             seed,
-        },
-    )
+        })
 }
 
 fn check<P>(mut sim: Sim<P>, sc: &Scenario, label: &str)
@@ -46,7 +52,12 @@ where
         let victim = Pid::new(sc.n - 1 - i);
         let at = Time::from_millis(400 + 100 * i as u64);
         sim.schedule_crash(at, victim);
-        sim.schedule_fd_plan(fdet::crash_transient_plan(sc.n, victim, at, Dur::from_millis(30)));
+        sim.schedule_fd_plan(fdet::crash_transient_plan(
+            sc.n,
+            victim,
+            at,
+            Dur::from_millis(30),
+        ));
         crashed.push(victim);
     }
     let senders: Vec<Pid> = Pid::all(sc.n).collect();
@@ -61,7 +72,11 @@ where
         logs[p.index()].push((id, payload));
     }
     // Uniform total order: every log is a prefix of the longest one.
-    let longest = logs.iter().max_by_key(|l| l.len()).expect("nonempty").clone();
+    let longest = logs
+        .iter()
+        .max_by_key(|l| l.len())
+        .expect("nonempty")
+        .clone();
     for (i, log) in logs.iter().enumerate() {
         assert!(
             longest.starts_with(log),
@@ -72,7 +87,11 @@ where
     // Liveness: the correct processes delivered something.
     for (i, log) in logs.iter().enumerate() {
         if !crashed.contains(&Pid::new(i)) {
-            assert!(!log.is_empty(), "{label} {sc:?}: correct p{} delivered nothing", i + 1);
+            assert!(
+                !log.is_empty(),
+                "{label} {sc:?}: correct p{} delivered nothing",
+                i + 1
+            );
         }
     }
 }
