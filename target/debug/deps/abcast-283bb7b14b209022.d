@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/abcast-283bb7b14b209022.d: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+/root/repo/target/debug/deps/libabcast-283bb7b14b209022.rlib: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+/root/repo/target/debug/deps/libabcast-283bb7b14b209022.rmeta: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/common.rs:
+crates/abcast/src/fd.rs:
+crates/abcast/src/gm.rs:
+crates/abcast/src/node.rs:

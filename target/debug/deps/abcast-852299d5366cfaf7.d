@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abcast-852299d5366cfaf7.d: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+/root/repo/target/debug/deps/abcast-852299d5366cfaf7: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/common.rs:
+crates/abcast/src/fd.rs:
+crates/abcast/src/gm.rs:
+crates/abcast/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/abcast-97c0e7e862584d0b.d: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabcast-97c0e7e862584d0b.rmeta: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs Cargo.toml
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/common.rs:
+crates/abcast/src/fd.rs:
+crates/abcast/src/gm.rs:
+crates/abcast/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

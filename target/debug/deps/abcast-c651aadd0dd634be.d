@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/abcast-c651aadd0dd634be.d: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabcast-c651aadd0dd634be.rmeta: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs Cargo.toml
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/common.rs:
+crates/abcast/src/fd.rs:
+crates/abcast/src/gm.rs:
+crates/abcast/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/atombench-3e62ed6e9978b950.d: src/lib.rs
+
+/root/repo/target/debug/deps/libatombench-3e62ed6e9978b950.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libatombench-3e62ed6e9978b950.rmeta: src/lib.rs
+
+src/lib.rs:

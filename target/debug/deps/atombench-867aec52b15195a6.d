@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atombench-867aec52b15195a6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatombench-867aec52b15195a6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atombench-9ee1150a9b4882f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/atombench-9ee1150a9b4882f8: src/lib.rs
+
+src/lib.rs:

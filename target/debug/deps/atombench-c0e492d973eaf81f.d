@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atombench-c0e492d973eaf81f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatombench-c0e492d973eaf81f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consensus-015680143b45b366.d: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+/root/repo/target/debug/deps/consensus-015680143b45b366: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/machine.rs:
+crates/consensus/src/msg.rs:

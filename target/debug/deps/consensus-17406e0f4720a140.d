@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consensus-17406e0f4720a140.d: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus-17406e0f4720a140.rmeta: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs Cargo.toml
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/machine.rs:
+crates/consensus/src/msg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

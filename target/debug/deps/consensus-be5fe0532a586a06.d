@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consensus-be5fe0532a586a06.d: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+/root/repo/target/debug/deps/libconsensus-be5fe0532a586a06.rlib: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+/root/repo/target/debug/deps/libconsensus-be5fe0532a586a06.rmeta: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/machine.rs:
+crates/consensus/src/msg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consensus-fa5a96cc94db46eb.d: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus-fa5a96cc94db46eb.rmeta: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs Cargo.toml
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/machine.rs:
+crates/consensus/src/msg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

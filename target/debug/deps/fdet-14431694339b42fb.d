@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fdet-14431694339b42fb.d: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+/root/repo/target/debug/deps/fdet-14431694339b42fb: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/estimate.rs:
+crates/fd/src/qos.rs:
+crates/fd/src/suspect.rs:

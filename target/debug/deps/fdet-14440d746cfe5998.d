@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fdet-14440d746cfe5998.d: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfdet-14440d746cfe5998.rmeta: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs Cargo.toml
+
+crates/fd/src/lib.rs:
+crates/fd/src/estimate.rs:
+crates/fd/src/qos.rs:
+crates/fd/src/suspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

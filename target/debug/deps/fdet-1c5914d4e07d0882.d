@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fdet-1c5914d4e07d0882.d: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfdet-1c5914d4e07d0882.rmeta: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs Cargo.toml
+
+crates/fd/src/lib.rs:
+crates/fd/src/estimate.rs:
+crates/fd/src/qos.rs:
+crates/fd/src/suspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fdet-ad5553a5a7259717.d: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+/root/repo/target/debug/deps/libfdet-ad5553a5a7259717.rlib: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+/root/repo/target/debug/deps/libfdet-ad5553a5a7259717.rmeta: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/estimate.rs:
+crates/fd/src/qos.rs:
+crates/fd/src/suspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-de2cdd57fd0ae867.d: crates/bench/benches/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-de2cdd57fd0ae867.rmeta: crates/bench/benches/fig4.rs Cargo.toml
+
+crates/bench/benches/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-88498dc6ef243d29.d: crates/bench/benches/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-88498dc6ef243d29.rmeta: crates/bench/benches/fig5.rs Cargo.toml
+
+crates/bench/benches/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

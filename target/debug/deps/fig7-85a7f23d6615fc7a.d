@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-85a7f23d6615fc7a.d: crates/bench/benches/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-85a7f23d6615fc7a.rmeta: crates/bench/benches/fig7.rs Cargo.toml
+
+crates/bench/benches/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

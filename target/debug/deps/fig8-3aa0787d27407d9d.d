@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-3aa0787d27407d9d.d: crates/bench/benches/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-3aa0787d27407d9d.rmeta: crates/bench/benches/fig8.rs Cargo.toml
+
+crates/bench/benches/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-2c7fa04abb73fef1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-2c7fa04abb73fef1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

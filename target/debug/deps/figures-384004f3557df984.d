@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-384004f3557df984.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/figures-384004f3557df984: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

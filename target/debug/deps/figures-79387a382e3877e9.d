@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-79387a382e3877e9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-79387a382e3877e9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

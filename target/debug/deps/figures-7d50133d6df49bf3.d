@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/figures-7d50133d6df49bf3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfigures-7d50133d6df49bf3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfigures-7d50133d6df49bf3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flows-0da465c2f0917fd3.d: crates/membership/tests/flows.rs
+
+/root/repo/target/debug/deps/flows-0da465c2f0917fd3: crates/membership/tests/flows.rs
+
+crates/membership/tests/flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flows-ca92ff7915533a29.d: crates/membership/tests/flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflows-ca92ff7915533a29.rmeta: crates/membership/tests/flows.rs Cargo.toml
+
+crates/membership/tests/flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

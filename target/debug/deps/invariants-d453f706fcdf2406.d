@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-d453f706fcdf2406.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-d453f706fcdf2406.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-fdfd11f2359e78ea.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-fdfd11f2359e78ea: tests/invariants.rs
+
+tests/invariants.rs:

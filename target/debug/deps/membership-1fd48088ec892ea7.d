@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/membership-1fd48088ec892ea7.d: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/membership-1fd48088ec892ea7: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/machine.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/membership-a01756286043a8e6.d: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libmembership-a01756286043a8e6.rlib: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libmembership-a01756286043a8e6.rmeta: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/machine.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/view.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/membership-deda3cedf2c03088.d: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership-deda3cedf2c03088.rmeta: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs Cargo.toml
+
+crates/membership/src/lib.rs:
+crates/membership/src/machine.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

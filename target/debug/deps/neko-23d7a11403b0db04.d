@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neko-23d7a11403b0db04.d: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/debug/deps/libneko-23d7a11403b0db04.rlib: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/debug/deps/libneko-23d7a11403b0db04.rmeta: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+crates/neko/src/lib.rs:
+crates/neko/src/kernel.rs:
+crates/neko/src/net.rs:
+crates/neko/src/process.rs:
+crates/neko/src/real.rs:
+crates/neko/src/rng.rs:
+crates/neko/src/sim.rs:
+crates/neko/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neko-3a781eaa5735538f.d: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneko-3a781eaa5735538f.rmeta: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs Cargo.toml
+
+crates/neko/src/lib.rs:
+crates/neko/src/kernel.rs:
+crates/neko/src/net.rs:
+crates/neko/src/process.rs:
+crates/neko/src/real.rs:
+crates/neko/src/rng.rs:
+crates/neko/src/sim.rs:
+crates/neko/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

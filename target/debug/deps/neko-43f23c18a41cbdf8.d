@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neko-43f23c18a41cbdf8.d: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/debug/deps/libneko-43f23c18a41cbdf8.rlib: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/debug/deps/libneko-43f23c18a41cbdf8.rmeta: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+crates/neko/src/lib.rs:
+crates/neko/src/kernel.rs:
+crates/neko/src/net.rs:
+crates/neko/src/process.rs:
+crates/neko/src/real.rs:
+crates/neko/src/rng.rs:
+crates/neko/src/sim.rs:
+crates/neko/src/time.rs:

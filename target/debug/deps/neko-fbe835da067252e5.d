@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neko-fbe835da067252e5.d: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/debug/deps/neko-fbe835da067252e5: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+crates/neko/src/lib.rs:
+crates/neko/src/kernel.rs:
+crates/neko/src/net.rs:
+crates/neko/src/process.rs:
+crates/neko/src/real.rs:
+crates/neko/src/rng.rs:
+crates/neko/src/sim.rs:
+crates/neko/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-88627161387b4ec3.d: crates/consensus/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-88627161387b4ec3.rmeta: crates/consensus/tests/properties.rs Cargo.toml
+
+crates/consensus/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

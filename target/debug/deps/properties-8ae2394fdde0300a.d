@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8ae2394fdde0300a.d: crates/consensus/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8ae2394fdde0300a: crates/consensus/tests/properties.rs
+
+crates/consensus/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7a53e7265c868664.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7a53e7265c868664: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-65be64480998f2cb.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-65be64480998f2cb.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

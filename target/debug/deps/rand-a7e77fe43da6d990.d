@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a7e77fe43da6d990.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a7e77fe43da6d990: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_scenarios-a3a5c37f5cd5eef7.d: tests/random_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_scenarios-a3a5c37f5cd5eef7.rmeta: tests/random_scenarios.rs Cargo.toml
+
+tests/random_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_scenarios-b627c8a255463c97.d: tests/random_scenarios.rs
+
+/root/repo/target/debug/deps/random_scenarios-b627c8a255463c97: tests/random_scenarios.rs
+
+tests/random_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rbcast-4c2d13d341e02eaf.d: crates/rbcast/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbcast-4c2d13d341e02eaf.rmeta: crates/rbcast/src/lib.rs Cargo.toml
+
+crates/rbcast/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

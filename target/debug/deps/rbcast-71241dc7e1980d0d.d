@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rbcast-71241dc7e1980d0d.d: crates/rbcast/src/lib.rs
+
+/root/repo/target/debug/deps/librbcast-71241dc7e1980d0d.rlib: crates/rbcast/src/lib.rs
+
+/root/repo/target/debug/deps/librbcast-71241dc7e1980d0d.rmeta: crates/rbcast/src/lib.rs
+
+crates/rbcast/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rbcast-a529093fff215e27.d: crates/rbcast/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbcast-a529093fff215e27.rmeta: crates/rbcast/src/lib.rs Cargo.toml
+
+crates/rbcast/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

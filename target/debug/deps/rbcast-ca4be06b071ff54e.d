@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rbcast-ca4be06b071ff54e.d: crates/rbcast/src/lib.rs
+
+/root/repo/target/debug/deps/rbcast-ca4be06b071ff54e: crates/rbcast/src/lib.rs
+
+crates/rbcast/src/lib.rs:

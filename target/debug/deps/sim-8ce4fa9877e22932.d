@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-8ce4fa9877e22932.d: crates/abcast/tests/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-8ce4fa9877e22932.rmeta: crates/abcast/tests/sim.rs Cargo.toml
+
+crates/abcast/tests/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-f54c499104835ea2.d: crates/abcast/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-f54c499104835ea2: crates/abcast/tests/sim.rs
+
+crates/abcast/tests/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study-4dc24d065ef29dc6.d: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/study-4dc24d065ef29dc6: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/paper.rs:
+crates/core/src/runner.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:

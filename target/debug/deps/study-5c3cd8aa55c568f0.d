@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/study-5c3cd8aa55c568f0.d: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy-5c3cd8aa55c568f0.rmeta: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/paper.rs:
+crates/core/src/runner.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

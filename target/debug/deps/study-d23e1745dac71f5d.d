@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/study-d23e1745dac71f5d.d: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libstudy-d23e1745dac71f5d.rlib: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libstudy-d23e1745dac71f5d.rmeta: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/paper.rs:
+crates/core/src/runner.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:

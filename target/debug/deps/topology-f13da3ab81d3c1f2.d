@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology-f13da3ab81d3c1f2.d: crates/bench/benches/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology-f13da3ab81d3c1f2.rmeta: crates/bench/benches/topology.rs Cargo.toml
+
+crates/bench/benches/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

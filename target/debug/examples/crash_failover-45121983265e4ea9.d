@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_failover-45121983265e4ea9.d: examples/crash_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_failover-45121983265e4ea9.rmeta: examples/crash_failover.rs Cargo.toml
+
+examples/crash_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

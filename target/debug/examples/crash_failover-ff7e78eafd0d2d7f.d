@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_failover-ff7e78eafd0d2d7f.d: examples/crash_failover.rs
+
+/root/repo/target/debug/examples/crash_failover-ff7e78eafd0d2d7f: examples/crash_failover.rs
+
+examples/crash_failover.rs:

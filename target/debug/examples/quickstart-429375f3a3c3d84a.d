@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-429375f3a3c3d84a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-429375f3a3c3d84a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-44a2de080c11219a.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-44a2de080c11219a.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

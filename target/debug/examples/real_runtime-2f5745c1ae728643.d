@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_runtime-2f5745c1ae728643.d: examples/real_runtime.rs
+
+/root/repo/target/debug/examples/real_runtime-2f5745c1ae728643: examples/real_runtime.rs
+
+examples/real_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/real_runtime-d48b18273c169622.d: examples/real_runtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreal_runtime-d48b18273c169622.rmeta: examples/real_runtime.rs Cargo.toml
+
+examples/real_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

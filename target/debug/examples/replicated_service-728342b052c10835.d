@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replicated_service-728342b052c10835.d: examples/replicated_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplicated_service-728342b052c10835.rmeta: examples/replicated_service.rs Cargo.toml
+
+examples/replicated_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_service-89e8054f31ca2fe5.d: examples/replicated_service.rs
+
+/root/repo/target/debug/examples/replicated_service-89e8054f31ca2fe5: examples/replicated_service.rs
+
+examples/replicated_service.rs:

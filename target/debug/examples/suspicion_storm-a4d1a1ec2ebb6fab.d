@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suspicion_storm-a4d1a1ec2ebb6fab.d: examples/suspicion_storm.rs
+
+/root/repo/target/debug/examples/suspicion_storm-a4d1a1ec2ebb6fab: examples/suspicion_storm.rs
+
+examples/suspicion_storm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/suspicion_storm-c0a78e228f96b79a.d: examples/suspicion_storm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuspicion_storm-c0a78e228f96b79a.rmeta: examples/suspicion_storm.rs Cargo.toml
+
+examples/suspicion_storm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

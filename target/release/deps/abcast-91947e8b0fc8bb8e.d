@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/abcast-91947e8b0fc8bb8e.d: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+/root/repo/target/release/deps/libabcast-91947e8b0fc8bb8e.rlib: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+/root/repo/target/release/deps/libabcast-91947e8b0fc8bb8e.rmeta: crates/abcast/src/lib.rs crates/abcast/src/common.rs crates/abcast/src/fd.rs crates/abcast/src/gm.rs crates/abcast/src/node.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/common.rs:
+crates/abcast/src/fd.rs:
+crates/abcast/src/gm.rs:
+crates/abcast/src/node.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/atombench-f10d9e9b36cca400.d: src/lib.rs
+
+/root/repo/target/release/deps/libatombench-f10d9e9b36cca400.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libatombench-f10d9e9b36cca400.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/consensus-143c0bc4102426b0.d: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+/root/repo/target/release/deps/libconsensus-143c0bc4102426b0.rlib: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+/root/repo/target/release/deps/libconsensus-143c0bc4102426b0.rmeta: crates/consensus/src/lib.rs crates/consensus/src/machine.rs crates/consensus/src/msg.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/machine.rs:
+crates/consensus/src/msg.rs:

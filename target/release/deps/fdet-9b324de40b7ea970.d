@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fdet-9b324de40b7ea970.d: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+/root/repo/target/release/deps/libfdet-9b324de40b7ea970.rlib: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+/root/repo/target/release/deps/libfdet-9b324de40b7ea970.rmeta: crates/fd/src/lib.rs crates/fd/src/estimate.rs crates/fd/src/qos.rs crates/fd/src/suspect.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/estimate.rs:
+crates/fd/src/qos.rs:
+crates/fd/src/suspect.rs:

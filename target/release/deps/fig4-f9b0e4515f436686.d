@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f9b0e4515f436686.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/release/deps/fig4-f9b0e4515f436686: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/figures-dbcc07e7418329bf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfigures-dbcc07e7418329bf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfigures-dbcc07e7418329bf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/membership-8a0bc6daa7071b8b.d: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libmembership-8a0bc6daa7071b8b.rlib: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libmembership-8a0bc6daa7071b8b.rmeta: crates/membership/src/lib.rs crates/membership/src/machine.rs crates/membership/src/msg.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/machine.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/view.rs:

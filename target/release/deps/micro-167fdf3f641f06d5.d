@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-167fdf3f641f06d5.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-167fdf3f641f06d5: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

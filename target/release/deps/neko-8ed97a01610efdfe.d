@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neko-8ed97a01610efdfe.d: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/release/deps/libneko-8ed97a01610efdfe.rlib: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+/root/repo/target/release/deps/libneko-8ed97a01610efdfe.rmeta: crates/neko/src/lib.rs crates/neko/src/kernel.rs crates/neko/src/net.rs crates/neko/src/process.rs crates/neko/src/real.rs crates/neko/src/rng.rs crates/neko/src/sim.rs crates/neko/src/time.rs
+
+crates/neko/src/lib.rs:
+crates/neko/src/kernel.rs:
+crates/neko/src/net.rs:
+crates/neko/src/process.rs:
+crates/neko/src/real.rs:
+crates/neko/src/rng.rs:
+crates/neko/src/sim.rs:
+crates/neko/src/time.rs:

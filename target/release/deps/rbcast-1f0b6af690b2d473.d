@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rbcast-1f0b6af690b2d473.d: crates/rbcast/src/lib.rs
+
+/root/repo/target/release/deps/librbcast-1f0b6af690b2d473.rlib: crates/rbcast/src/lib.rs
+
+/root/repo/target/release/deps/librbcast-1f0b6af690b2d473.rmeta: crates/rbcast/src/lib.rs
+
+crates/rbcast/src/lib.rs:

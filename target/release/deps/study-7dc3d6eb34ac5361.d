@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/study-7dc3d6eb34ac5361.d: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libstudy-7dc3d6eb34ac5361.rlib: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libstudy-7dc3d6eb34ac5361.rmeta: crates/core/src/lib.rs crates/core/src/paper.rs crates/core/src/runner.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/paper.rs:
+crates/core/src/runner.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topology-4e1e183c9c0c317e.d: crates/bench/benches/topology.rs
+
+/root/repo/target/release/deps/topology-4e1e183c9c0c317e: crates/bench/benches/topology.rs
+
+crates/bench/benches/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_failover-69246b03b91f1eb1.d: examples/crash_failover.rs
+
+/root/repo/target/release/examples/crash_failover-69246b03b91f1eb1: examples/crash_failover.rs
+
+examples/crash_failover.rs:

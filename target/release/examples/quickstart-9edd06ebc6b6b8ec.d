@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9edd06ebc6b6b8ec.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9edd06ebc6b6b8ec: examples/quickstart.rs
+
+examples/quickstart.rs:
