@@ -48,6 +48,16 @@ pub enum FdCastMsg<P> {
         /// The embedded consensus message.
         inner: ConsensusMsg<Batch<P>>,
     },
+    /// Channel repair: "my oldest undecided instance is `k` and it
+    /// has made no progress — resend what I may have lost". Sent by
+    /// the stall probe after a crash-recovery or healed partition
+    /// dropped in-flight messages; receivers answer with the
+    /// decisions the sender is missing, or re-emit their directed
+    /// state for the instance.
+    Nudge {
+        /// The sender's current instance.
+        k: u64,
+    },
 }
 
 /// Outputs of the FD state machine, in execution order.
@@ -69,6 +79,10 @@ pub enum FdCastAction<P> {
 /// Consensus messages buffered for an instance not yet started.
 type FutureMsgs<P> = Vec<(Pid, ConsensusMsg<Batch<P>>)>;
 
+/// Observable progress of the oldest undecided instance, compared
+/// across stall probes: `(instance, consensus diagnostic snapshot)`.
+type ProgressSig = (u64, Option<(u32, &'static str, usize, usize)>);
+
 /// Per-process endpoint of the FD atomic broadcast algorithm.
 ///
 /// Pure state machine; the [`crate::FdNode`] shell adapts it to
@@ -89,6 +103,10 @@ pub struct FdAbcast<P: Payload> {
     future: BTreeMap<u64, FutureMsgs<P>>,
     coord_first: Pid,
     suspects: SuspectSet,
+    /// Progress signature at the last stall probe.
+    last_probe: Option<ProgressSig>,
+    /// Consecutive probes with a frozen signature.
+    stalled_probes: u32,
 }
 
 impl<P: Payload> FdAbcast<P> {
@@ -109,6 +127,8 @@ impl<P: Payload> FdAbcast<P> {
             future: BTreeMap::new(),
             coord_first: Pid::new(0),
             suspects: suspects.clone(),
+            last_probe: None,
+            stalled_probes: 0,
         }
     }
 
@@ -187,6 +207,71 @@ impl<P: Payload> FdAbcast<P> {
                 inst.on_message(from, inner, &mut cons_out);
                 self.pump_cons(k, cons_out, out);
             }
+            FdCastMsg::Nudge { k } => {
+                if k < self.k {
+                    // The sender is behind: serve it every decision it
+                    // is missing (it applies them in order and catches
+                    // up in one hop).
+                    for kk in k..self.k {
+                        if let Some(reply) =
+                            self.instances.get(&kk).and_then(Consensus::decision_reply)
+                        {
+                            out.push(FdCastAction::Send(
+                                from,
+                                FdCastMsg::Cons {
+                                    k: kk,
+                                    inner: reply,
+                                },
+                            ));
+                        }
+                    }
+                } else if k == self.k {
+                    // Same instance: re-emit our directed state — the
+                    // proposal (coordinator) or estimate/ack
+                    // (participant) the sender may have lost.
+                    if let Some(inst) = self.instances.get(&k) {
+                        let mut cons_out = Vec::new();
+                        inst.resend_to(from, &mut cons_out);
+                        self.pump_cons(k, cons_out, out);
+                    }
+                }
+                // k > self.k: the nudger is ahead; our own stall probe
+                // covers our side.
+            }
+        }
+    }
+
+    /// Periodic channel-repair probe. Call at a coarse interval (the
+    /// [`crate::FdNode`] shell uses a timer): when the oldest
+    /// undecided instance has made *no* observable progress since the
+    /// last probe, ask the group to resend what was lost. Quiet in
+    /// loss-free runs — consensus always progresses between probes —
+    /// so steady-state behaviour is untouched.
+    pub fn stall_probe(&mut self, out: &mut Vec<FdCastAction<P>>) {
+        let sig = (
+            self.k,
+            self.instances.get(&self.k).map(Consensus::debug_state),
+        );
+        if self.last_probe.as_ref() == Some(&sig) {
+            self.stalled_probes += 1;
+        } else {
+            self.stalled_probes = 0;
+        }
+        self.last_probe = Some(sig);
+        // Two consecutive frozen probes (≥ 2 intervals of zero
+        // progress) separate real message loss from an instance
+        // merely queued behind a deep backlog near saturation, where
+        // nudging would add load (and perturb the FD ≡ GM message
+        // pattern) for nothing.
+        if self.stalled_probes < 2 {
+            return;
+        }
+        let undecided = self
+            .instances
+            .get(&self.k)
+            .is_some_and(|c| !c.has_decided());
+        if undecided {
+            out.push(FdCastAction::Multicast(FdCastMsg::Nudge { k: self.k }));
         }
     }
 

@@ -353,14 +353,14 @@ impl<P: Payload> GmAbcast<P> {
                 ViewRelation::Future => {
                     self.buffer_future(view, from, GmCastMsg::Data { view, id, payload })
                 }
-                ViewRelation::Past => {}
+                ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::Seq { view, sns } => match self.classify(view) {
                 ViewRelation::Current => self.handle_seq(sns, out),
                 ViewRelation::Future => {
                     self.buffer_future(view, from, GmCastMsg::Seq { view, sns })
                 }
-                ViewRelation::Past => {}
+                ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::AckSn { view, sns } => {
                 if self.classify(view) == ViewRelation::Current && self.is_sequencer() {
@@ -398,7 +398,7 @@ impl<P: Payload> GmAbcast<P> {
                         stable_up_to,
                     },
                 ),
-                ViewRelation::Past => {}
+                ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::Gm(m) => {
                 let Self { gm, store, .. } = self;
@@ -846,6 +846,26 @@ impl<P: Payload> GmAbcast<P> {
             std::cmp::Ordering::Less => ViewRelation::Past,
             std::cmp::Ordering::Equal => ViewRelation::Current,
             std::cmp::Ordering::Greater => ViewRelation::Future,
+        }
+    }
+
+    /// An old-view in-view message arrived from a process outside the
+    /// current view: the group moved on and the sender never noticed
+    /// (it recovered from a crash, or a partition healed, after the
+    /// view change that excluded it). Nobody multicasts to a
+    /// non-member, so without help it would stay wedged in its stale
+    /// view forever. Tell it where the group is; its membership
+    /// machine turns the news into an exclusion notice and a join
+    /// request.
+    fn notify_stale(&self, from: Pid, out: &mut Vec<GmCastAction<P>>) {
+        if self.gm.is_member() && !self.gm.in_view_change() && !self.gm.view().contains(from) {
+            out.push(GmCastAction::Send(
+                from,
+                GmCastMsg::Gm(GmMsg::Welcome {
+                    view: self.gm.view().id(),
+                    members: self.gm.view().members().clone(),
+                }),
+            ));
         }
     }
 

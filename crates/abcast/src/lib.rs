@@ -34,5 +34,5 @@ mod node;
 
 pub use common::{AbcastEvent, MsgId, Payload};
 pub use fd::{Batch, FdAbcast, FdCastAction, FdCastMsg};
-pub use gm::{Bundle, GmAbcast, GmCastAction, GmCastMsg, Uniformity};
-pub use node::{DeliveredEvent, FdNode, GmNode, RETRY_INTERVAL};
+pub use gm::{Bundle, GmAbcast, GmCastAction, GmCastMsg, Uniformity, NONUNIFORM_ACK_EVERY};
+pub use node::{DeliveredEvent, FdNode, GmNode, RETRY_INTERVAL, STALL_PROBE_INTERVAL};

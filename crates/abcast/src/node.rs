@@ -15,6 +15,14 @@ pub const RETRY_INTERVAL: Dur = Dur::from_millis(10);
 
 const TAG_JOIN_RETRY: u64 = 1;
 const TAG_CATCHUP_RETRY: u64 = 2;
+const TAG_STALL_PROBE: u64 = 3;
+
+/// How often an [`FdNode`] checks its oldest undecided consensus
+/// instance for a stall (lost messages after a crash-recovery or a
+/// healed partition). Coarse on purpose: in loss-free runs an
+/// instance always progresses between probes, so the probe stays
+/// silent and steady-state message patterns are untouched.
+pub const STALL_PROBE_INTERVAL: Dur = Dur::from_millis(50);
 
 impl<P: Payload> Message for FdCastMsg<P> {
     // Consensus aggregates whole batches per instance; no wire-level
@@ -72,6 +80,7 @@ impl<P: Payload> Message for GmCastMsg<P> {
 #[derive(Debug)]
 pub struct FdNode<P: Payload> {
     inner: FdAbcast<P>,
+    probe_timer: Option<TimerId>,
 }
 
 impl<P: Payload> FdNode<P> {
@@ -80,7 +89,15 @@ impl<P: Payload> FdNode<P> {
     pub fn new(me: Pid, n: usize, suspects_at_start: &fdet::SuspectSet) -> Self {
         FdNode {
             inner: FdAbcast::new(me, n, suspects_at_start),
+            probe_timer: None,
         }
+    }
+
+    fn arm_probe(&mut self, ctx: &mut dyn Ctx<FdCastMsg<P>, AbcastEvent<P>>) {
+        if let Some(id) = self.probe_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.probe_timer = Some(ctx.set_timer(STALL_PROBE_INTERVAL, TAG_STALL_PROBE));
     }
 
     /// Disables the coordinator-renumbering optimisation (ablation).
@@ -112,6 +129,25 @@ impl<P: Payload> Process for FdNode<P> {
     type Msg = FdCastMsg<P>;
     type Cmd = P;
     type Out = AbcastEvent<P>;
+
+    fn on_start(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        self.arm_probe(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        // Probe ticks due while we were down never fired; restart the
+        // chain (cancelling a stale pre-crash timer, if any).
+        self.arm_probe(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
+        if tag == TAG_STALL_PROBE && self.probe_timer == Some(id) {
+            let mut out = Vec::new();
+            self.inner.stall_probe(&mut out);
+            self.arm_probe(ctx);
+            self.run(out, ctx);
+        }
+    }
 
     fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
         let mut out = Vec::new();
@@ -208,6 +244,19 @@ impl<P: Payload> Process for GmNode<P> {
     fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
         let mut out = Vec::new();
         self.inner.on_fd(ev, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        // Retry timers armed before the crash are gone; restart
+        // whatever loop our pre-crash state still needs.
+        let mut out = Vec::new();
+        if self.inner.is_excluded() {
+            self.inner.request_join(&mut out);
+            ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
+        } else if self.inner.is_catching_up() {
+            ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
+        }
         self.run(out, ctx);
     }
 

@@ -154,7 +154,7 @@ fn crash_transient_fd_delivers_after_detection() {
     let td = neko::Dur::from_millis(30);
     sim.schedule_crash(t, Pid::new(0));
     sim.schedule_command(t, Pid::new(1), 7);
-    sim.schedule_fd_plan(fdet::crash_transient_plan(n, Pid::new(0), t, td));
+    sim.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), t, td));
     sim.run_until(Time::from_secs(2));
     let obs: Vec<Obs> = sim
         .take_outputs()
@@ -189,7 +189,7 @@ fn crash_transient_gm_delivers_after_view_change() {
     let td = neko::Dur::from_millis(30);
     sim.schedule_crash(t, Pid::new(0)); // the sequencer
     sim.schedule_command(t, Pid::new(1), 7);
-    sim.schedule_fd_plan(fdet::crash_transient_plan(n, Pid::new(0), t, td));
+    sim.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), t, td));
     sim.run_until(Time::from_secs(2));
     let obs: Vec<Obs> = sim
         .take_outputs()
@@ -229,7 +229,7 @@ fn crash_steady_gm_sequencer_waits_for_fewer_acks() {
     for &c in &crashed {
         fd.schedule_crash(Time::ZERO, c);
     }
-    fd.schedule_fd_plan(plan.clone());
+    fd.schedule_plan(plan.clone());
     fd.schedule_command(Time::from_millis(10), Pid::new(1), 7);
     fd.run_until(Time::from_secs(1));
     let fd_first = fd
@@ -249,7 +249,7 @@ fn crash_steady_gm_sequencer_waits_for_fewer_acks() {
     for &c in &crashed {
         gm.schedule_crash(Time::ZERO, c);
     }
-    gm.schedule_fd_plan(plan);
+    gm.schedule_plan(plan);
     gm.run_until(Time::from_millis(500)); // view change settles
     gm.take_outputs();
     gm.schedule_command(Time::from_millis(510), Pid::new(1), 7);

@@ -15,7 +15,7 @@
 
 use figures::{header, row, steady_params};
 use neko::{NetParams, Pid};
-use study::{run_replicated, Algorithm, ScenarioSpec};
+use study::{run_replicated, Algorithm, FaultScript};
 
 fn main() {
     renumbering();
@@ -27,15 +27,13 @@ fn main() {
 fn renumbering() {
     header("abl-renumber", "throughput_per_s");
     // p1 (the default round-1 coordinator) crashed long ago.
-    let spec = ScenarioSpec::CrashSteady {
-        crashed: vec![Pid::new(0)],
-    };
+    let script = FaultScript::crash_steady(&[Pid::new(0)]);
     for t in [10.0, 100.0, 300.0, 500.0] {
         for (series, alg) in [
             ("renumbering", Algorithm::Fd),
             ("no-renumbering", Algorithm::FdNoRenumber),
         ] {
-            let out = run_replicated(alg, &spec, &steady_params(3, t), 0xAB10);
+            let out = run_replicated(alg, &script, &steady_params(3, t), 0xAB10);
             row("abl-renumber", series, t, &out);
         }
     }
@@ -46,7 +44,12 @@ fn coalescing() {
     for t in [100.0, 300.0, 500.0, 700.0] {
         for (series, on) in [("coalescing", true), ("no-coalescing", false)] {
             let params = steady_params(3, t).with_net(NetParams::default().with_coalescing(on));
-            let out = run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &params, 0xAB20);
+            let out = run_replicated(
+                Algorithm::Gm,
+                &FaultScript::normal_steady(),
+                &params,
+                0xAB20,
+            );
             row("abl-coalesce", series, t, &out);
         }
     }
@@ -57,7 +60,7 @@ fn lambda() {
     for lam in [0.1, 0.5, 1.0, 2.0, 4.0] {
         for alg in Algorithm::PAPER {
             let params = steady_params(3, 100.0).with_net(NetParams::default().with_lambda(lam));
-            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0xAB30);
+            let out = run_replicated(alg, &FaultScript::normal_steady(), &params, 0xAB30);
             row("abl-lambda", &format!("{alg:?}"), lam, &out);
         }
     }
@@ -73,7 +76,7 @@ fn uniformity() {
             ] {
                 let out = run_replicated(
                     alg,
-                    &ScenarioSpec::NormalSteady,
+                    &FaultScript::normal_steady(),
                     &steady_params(n, t),
                     0xAB40,
                 );

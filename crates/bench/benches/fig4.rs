@@ -4,17 +4,29 @@
 //! Paper result to reproduce: the FD and GM curves *coincide*; latency
 //! grows convexly with throughput and diverges near ~700 msgs/s; n = 7
 //! sits above n = 3.
+//!
+//! Every (series × throughput × replication) unit fans out across all
+//! CPU cores via [`study::run_sweep`]; results are bit-identical to a
+//! sequential run.
 
-use figures::{header, row, steady_params, thin};
-use study::{paper, run_replicated, ScenarioSpec};
+use figures::{header, row, steady_params, sweep, thin};
+use study::{paper, FaultScript, SweepPoint};
 
 fn main() {
     header("fig4", "throughput_per_s");
+    let mut entries = Vec::new();
     for (series, n, alg) in paper::fig4_series() {
         for t in thin(paper::throughput_sweep()) {
-            let params = steady_params(n, t);
-            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0x0F16_0004);
-            row("fig4", &series, t, &out);
+            let point = SweepPoint::new(
+                alg,
+                FaultScript::normal_steady(),
+                steady_params(n, t),
+                0x0F16_0004,
+            );
+            entries.push((series.clone(), t, point));
         }
+    }
+    for (series, t, out) in sweep(entries) {
+        row("fig4", &series, t, &out);
     }
 }

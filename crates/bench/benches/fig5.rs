@@ -8,17 +8,20 @@
 //! algorithm (its sequencer waits for a majority of the shrunken view,
 //! the FD coordinator still needs a majority of the original `n`).
 
-use figures::{header, row, steady_params, thin};
-use study::{paper, run_replicated, ScenarioSpec};
+use figures::{header, row, steady_params, sweep, thin};
+use study::{paper, FaultScript, SweepPoint};
 
 fn main() {
     header("fig5", "throughput_per_s");
+    let mut entries = Vec::new();
     for (series, n, alg, crashed) in paper::fig5_series() {
-        let spec = ScenarioSpec::CrashSteady { crashed };
+        let script = FaultScript::crash_steady(&crashed);
         for t in thin(paper::throughput_sweep()) {
-            let params = steady_params(n, t);
-            let out = run_replicated(alg, &spec, &params, 0x0F16_0005);
-            row("fig5", &series, t, &out);
+            let point = SweepPoint::new(alg, script.clone(), steady_params(n, t), 0x0F16_0005);
+            entries.push((series.clone(), t, point));
         }
+    }
+    for (series, t, out) in sweep(entries) {
+        row("fig5", &series, t, &out);
     }
 }

@@ -7,20 +7,27 @@
 //! `T_MR ≳ 50 ms` while the FD algorithm still works at 10 ms; the two
 //! algorithms converge as `T_MR → ∞` (toward the Fig. 4 baseline).
 
-use figures::{header, row, steady_params, thin};
-use study::{paper, run_replicated, Algorithm};
+use figures::{header, row, steady_params, sweep, thin};
+use study::{paper, SweepPoint};
 
 fn main() {
     header("fig6", "tmr_ms");
+    let mut entries = Vec::new();
     for (n, t) in paper::SUSPICION_PANELS {
-        for alg in Algorithm::PAPER {
+        for alg in study::Algorithm::PAPER {
             let series = format!("n={n} T={t} {alg:?}");
             for tmr in thin(paper::fig6_tmr_values_ms()) {
-                let spec = paper::fig6_scenario(tmr);
-                let params = steady_params(n, t);
-                let out = run_replicated(alg, &spec, &params, 0x0F16_0006);
-                row("fig6", &series, tmr, &out);
+                let point = SweepPoint::new(
+                    alg,
+                    paper::fig6_scenario(tmr),
+                    steady_params(n, t),
+                    0x0F16_0006,
+                );
+                entries.push((series.clone(), tmr, point));
             }
         }
+    }
+    for (series, tmr, out) in sweep(entries) {
+        row("fig6", &series, tmr, &out);
     }
 }

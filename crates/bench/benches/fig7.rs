@@ -7,20 +7,27 @@
 //! and keeps being re-excluded until the mistake ends), while the FD
 //! algorithm stays nearly flat.
 
-use figures::{header, row, steady_params, thin};
-use study::{paper, run_replicated, Algorithm};
+use figures::{header, row, steady_params, sweep, thin};
+use study::{paper, SweepPoint};
 
 fn main() {
     header("fig7", "tm_ms");
+    let mut entries = Vec::new();
     for (n, t, tmr) in paper::FIG7_PANELS {
-        for alg in Algorithm::PAPER {
+        for alg in study::Algorithm::PAPER {
             let series = format!("n={n} T={t} TMR={tmr} {alg:?}");
             for tm in thin(paper::fig7_tm_values_ms()) {
-                let spec = paper::fig7_scenario(tmr, tm);
-                let params = steady_params(n, t);
-                let out = run_replicated(alg, &spec, &params, 0x0F16_0007);
-                row("fig7", &series, tm, &out);
+                let point = SweepPoint::new(
+                    alg,
+                    paper::fig7_scenario(tmr, tm),
+                    steady_params(n, t),
+                    0x0F16_0007,
+                );
+                entries.push((series.clone(), tm, point));
             }
         }
+    }
+    for (series, tm, out) in sweep(entries) {
+        row("fig7", &series, tm, &out);
     }
 }

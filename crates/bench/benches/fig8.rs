@@ -8,32 +8,36 @@
 //! overhead is *below* the GM algorithm's (one extra consensus round
 //! vs a full view change); the overhead depends only weakly on `T_D`.
 
-use figures::{thin, transient_params};
-use study::{paper, run_replicated, Algorithm};
+use figures::{sweep, thin, transient_params};
+use study::{paper, Algorithm, SweepPoint};
 
 fn main() {
     println!("# fig8");
     println!("figure,series,throughput_per_s,overhead_ms,ci95_ms");
+    let mut entries = Vec::new();
     for n in paper::GROUP_SIZES {
         for td in paper::FIG8_TD_MS {
             for alg in Algorithm::PAPER {
                 let series = format!("n={n} TD={td} {alg:?}");
-                let spec = paper::fig8_scenario(td);
+                let script = paper::fig8_scenario(td);
                 for t in thin(paper::throughput_sweep()) {
                     if n == 7 && t > 700.0 {
                         continue; // the paper's n=7 panel stops at 700/s
                     }
-                    let params = transient_params(n, t);
-                    let out = run_replicated(alg, &spec, &params, 0x0F16_0008);
-                    match &out.latency {
-                        Some(s) => {
-                            let overhead = s.mean() - td as f64;
-                            println!("fig8,{series},{t},{overhead:.3},{:.3}", s.ci95());
-                        }
-                        None => println!("fig8,{series},{t},saturated,"),
-                    }
+                    let point =
+                        SweepPoint::new(alg, script.clone(), transient_params(n, t), 0x0F16_0008);
+                    entries.push((series.clone(), (t, td), point));
                 }
             }
+        }
+    }
+    for (series, (t, td), out) in sweep(entries) {
+        match &out.latency {
+            Some(s) => {
+                let overhead = s.mean() - td as f64;
+                println!("fig8,{series},{t},{overhead:.3},{:.3}", s.ci95());
+            }
+            None => println!("fig8,{series},{t},saturated,"),
         }
     }
 }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fdet::{suspicion_steady_plan, QosParams, SuspectSet};
 use neko::{Dur, Pid, SimBuilder, Time};
-use study::{poisson_arrivals, run_once, Algorithm, RunParams, ScenarioSpec};
+use study::{poisson_arrivals, run_once, Algorithm, FaultScript, RunParams};
 
 fn engine_event_throughput(c: &mut Criterion) {
     // One simulated second of FD atomic broadcast at 300 msg/s, n = 3.
@@ -14,7 +14,7 @@ fn engine_event_throughput(c: &mut Criterion) {
                 .with_warmup(Dur::from_millis(100))
                 .with_measure(Dur::from_millis(900))
                 .with_drain(Dur::from_millis(500));
-            run_once(Algorithm::Fd, &ScenarioSpec::NormalSteady, &params, 42)
+            run_once(Algorithm::Fd, &FaultScript::normal_steady(), &params, 42)
         });
     });
     c.bench_function("sim_gm_one_second_300rps", |b| {
@@ -23,7 +23,7 @@ fn engine_event_throughput(c: &mut Criterion) {
                 .with_warmup(Dur::from_millis(100))
                 .with_measure(Dur::from_millis(900))
                 .with_drain(Dur::from_millis(500));
-            run_once(Algorithm::Gm, &ScenarioSpec::NormalSteady, &params, 42)
+            run_once(Algorithm::Gm, &FaultScript::normal_steady(), &params, 42)
         });
     });
 }

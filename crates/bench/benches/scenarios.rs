@@ -1,0 +1,85 @@
+//! **Scenarios** — fault schedules the paper could not measure,
+//! expressed in the composable fault-script grammar and swept across
+//! all CPU cores:
+//!
+//! * **crash-recover** — a non-coordinator crashes mid-measurement
+//!   and returns `downtime` later (crash-recovery with stable
+//!   storage). Latency vs downtime shows how quickly each algorithm
+//!   re-absorbs a returning replica: the FD algorithm serves it
+//!   missed decisions, the GM algorithm runs an exclude/rejoin cycle
+//!   with a state transfer.
+//! * **healing-partition** — a minority process is cut off and the
+//!   link heals. The majority keeps working; the sweep measures the
+//!   disturbance of cut + heal.
+//! * **rolling-churn** — every process in turn leaves and rejoins
+//!   (one churn wave), the Ring Paxos recovery setting.
+//!
+//! Scripts run under the same measurement methodology as the paper
+//! figures, so the rows are directly comparable to the Fig. 4
+//! baseline.
+
+use figures::{header, row, steady_params, sweep};
+use neko::{Dur, Pid};
+use study::{Algorithm, FaultScript, RunParams, ScriptTime, SweepPoint};
+
+/// The new scenarios tolerate a burst of undeliverable broadcasts
+/// around the fault window (e.g. a cut-off minority), so the
+/// saturation bar is laxer than the steady-state 5%.
+fn params(n: usize, t: f64) -> RunParams {
+    steady_params(n, t).with_saturation_frac(0.5)
+}
+
+fn main() {
+    header("scenarios", "x");
+    let mut entries = Vec::new();
+
+    // Crash-recover: latency vs downtime (ms), n = 3, T = 100/s.
+    for downtime_ms in [200u64, 500, 1_000] {
+        let script = FaultScript::crash_recover(
+            Pid::new(2),
+            Dur::from_millis(100),
+            Dur::from_millis(downtime_ms),
+            Dur::from_millis(30),
+        );
+        for alg in Algorithm::PAPER {
+            let point = SweepPoint::new(alg, script.clone(), params(3, 100.0), 0xC5A1);
+            entries.push((format!("crash-recover {alg:?}"), downtime_ms, point));
+        }
+    }
+
+    // Healing partition: latency vs cut duration (ms), n = 3.
+    for cut_ms in [200u64, 500, 1_000] {
+        let script = FaultScript::healing_partition(
+            vec![vec![Pid::new(0), Pid::new(1)], vec![Pid::new(2)]],
+            Dur::from_millis(100),
+            Dur::from_millis(cut_ms),
+            Dur::from_millis(30),
+        );
+        for alg in Algorithm::PAPER {
+            let point = SweepPoint::new(alg, script.clone(), params(3, 100.0), 0xC5A2);
+            entries.push((format!("healing-partition {alg:?}"), cut_ms, point));
+        }
+    }
+
+    // Rolling churn: one wave over all of n = 5, latency vs
+    // per-process downtime (ms).
+    for downtime_ms in [200u64, 400] {
+        let mut script = FaultScript::default();
+        for i in 0..5usize {
+            script = script.churn(
+                ScriptTime::AfterWarmup(Dur::from_millis(100 + 600 * i as u64)),
+                Pid::new(4 - i),
+                Dur::from_millis(downtime_ms),
+                Dur::from_millis(30),
+            );
+        }
+        for alg in Algorithm::PAPER {
+            let point = SweepPoint::new(alg, script.clone(), params(5, 100.0), 0xC5A3);
+            entries.push((format!("rolling-churn {alg:?}"), downtime_ms, point));
+        }
+    }
+
+    for (series, x, out) in sweep(entries) {
+        row("scenarios", &series, x, &out);
+    }
+}

@@ -9,9 +9,9 @@
 //! contention at all but per-pair latencies of tens of milliseconds,
 //! so latency is round-trip-dominated and nearly flat in throughput.
 
-use figures::{header, row, steady_params, thin};
+use figures::{header, row, steady_params, sweep, thin};
 use neko::{NetworkModel, WanParams};
-use study::{paper, run_replicated, ScenarioSpec};
+use study::{paper, FaultScript, SweepPoint};
 
 fn models() -> Vec<(&'static str, NetworkModel)> {
     vec![
@@ -23,13 +23,21 @@ fn models() -> Vec<(&'static str, NetworkModel)> {
 
 fn main() {
     header("topology", "throughput_per_s");
+    let mut entries = Vec::new();
     for (model_name, model) in models() {
         for (series, n, alg) in paper::fig4_series() {
             for t in thin(paper::throughput_sweep()) {
-                let params = steady_params(n, t).with_network_model(model);
-                let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0x0707_0100);
-                row("topology", &format!("{model_name} {series}"), t, &out);
+                let point = SweepPoint::new(
+                    alg,
+                    FaultScript::normal_steady(),
+                    steady_params(n, t).with_network_model(model),
+                    0x0707_0100,
+                );
+                entries.push((format!("{model_name} {series}"), t, point));
             }
         }
+    }
+    for (series, t, out) in sweep(entries) {
+        row("topology", &series, t, &out);
     }
 }

@@ -16,7 +16,7 @@
 //! `ATOMBENCH_FULL=1` for longer, tighter-CI runs.
 
 use neko::Dur;
-use study::{RunOutput, RunParams};
+use study::{run_sweep, RunOutput, RunParams, SweepPoint};
 
 /// Effort level selected through the environment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,16 +84,47 @@ pub fn thin<T: Clone>(values: Vec<T>) -> Vec<T> {
     }
 }
 
-/// Prints the CSV header for a figure.
-pub fn header(figure: &str, x_name: &str) {
-    println!("# {figure}");
-    println!("figure,series,{x_name},latency_ms,ci95_ms");
+/// Runs a labelled sweep — `(series, x, configuration)` triples —
+/// across every CPU core and yields `(series, x, output)` rows in
+/// input order (see [`study::run_sweep`] for the execution model).
+pub fn sweep<X>(
+    entries: Vec<(String, X, SweepPoint)>,
+) -> impl Iterator<Item = (String, X, RunOutput)> {
+    let points: Vec<SweepPoint> = entries.iter().map(|(_, _, p)| p.clone()).collect();
+    entries
+        .into_iter()
+        .zip(run_sweep(&points))
+        .map(|((series, x, _), out)| (series, x, out))
 }
 
-/// Prints one CSV data row.
+/// Prints the CSV header for a figure. The percentile columns are
+/// exact (nearest-rank over every measured message pooled across the
+/// sustaining replications).
+pub fn header(figure: &str, x_name: &str) {
+    println!("# {figure}");
+    println!("figure,series,{x_name},latency_ms,ci95_ms,p50_ms,p95_ms,p99_ms");
+}
+
+/// Prints one CSV data row: mean latency with its 95% CI over
+/// replication means, plus p50/p95/p99 of the per-message latencies.
 pub fn row(figure: &str, series: &str, x: impl std::fmt::Display, out: &RunOutput) {
     match &out.latency {
-        Some(s) => println!("{figure},{series},{x},{:.3},{:.3}", s.mean(), s.ci95()),
-        None => println!("{figure},{series},{x},saturated,"),
+        Some(s) => {
+            let pct = |p: f64| {
+                out.messages
+                    .as_ref()
+                    .and_then(|m| m.percentile(p))
+                    .map_or(String::new(), |v| format!("{v:.3}"))
+            };
+            println!(
+                "{figure},{series},{x},{:.3},{:.3},{},{},{}",
+                s.mean(),
+                s.ci95(),
+                pct(50.0),
+                pct(95.0),
+                pct(99.0),
+            );
+        }
+        None => println!("{figure},{series},{x},saturated,,,,"),
     }
 }

@@ -176,6 +176,64 @@ impl<V: Value> Consensus<V> {
         (self.round, phase, self.estimates.len(), self.acks.len())
     }
 
+    /// The decision wrapped for a late peer, if this instance has
+    /// decided.
+    pub fn decision_reply(&self) -> Option<ConsensusMsg<V>> {
+        self.decision_msg
+            .as_ref()
+            .map(|d| ConsensusMsg::Decide(d.clone()))
+    }
+
+    /// Re-emits this instance's directed state toward `p` — the
+    /// channel-repair hook for crash-recovery and healed partitions,
+    /// where a message to `p` may have been lost while `p` was
+    /// unreachable. Safe to call at any time: every re-sent message
+    /// is idempotent at the receiver.
+    pub fn resend_to(&self, p: Pid, out: &mut Vec<ConsensusAction<V>>) {
+        if self.decided {
+            if let Some(reply) = self.decision_reply() {
+                out.push(ConsensusAction::Send(p, reply));
+            }
+            return;
+        }
+        match self.phase {
+            // Coordinator: `p` may have missed our proposal.
+            Phase::AwaitAcks if self.coordinator(self.round) == self.me => {
+                let value = self.estimate.clone().expect("await-acks has an estimate");
+                out.push(ConsensusAction::Send(
+                    p,
+                    ConsensusMsg::Propose {
+                        round: self.round,
+                        value,
+                    },
+                ));
+            }
+            // Participant toward its coordinator: it may have missed
+            // our estimate (rounds > 1) or our ack.
+            Phase::AwaitPropose | Phase::AwaitDecision if self.coordinator(self.round) == p => {
+                if self.round > 1 {
+                    if let Some(est) = self.estimate.clone() {
+                        out.push(ConsensusAction::Send(
+                            p,
+                            ConsensusMsg::Estimate {
+                                round: self.round,
+                                est,
+                                ts: self.ts,
+                            },
+                        ));
+                    }
+                }
+                if self.phase == Phase::AwaitDecision {
+                    out.push(ConsensusAction::Send(
+                        p,
+                        ConsensusMsg::Ack { round: self.round },
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// The other participants, in rotation order (the destination set
     /// of [`ConsensusAction::Multicast`]).
     pub fn peers(&self) -> Vec<Pid> {

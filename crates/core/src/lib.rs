@@ -5,36 +5,43 @@
 //!
 //! * [`poisson_arrivals`] — the workload: every process broadcasts at
 //!   rate `T/n`, Poisson arrivals;
-//! * [`ScenarioSpec`] — the four benchmark scenarios
-//!   (normal-steady, crash-steady, suspicion-steady, crash-transient);
+//! * [`FaultScript`] — composable fault scenarios as timed injection
+//!   timelines; the paper's four benchmark scenarios (normal-steady,
+//!   crash-steady, suspicion-steady, crash-transient) are one-line
+//!   constructors, and richer schedules (crash-recover, healing
+//!   partitions, churn) use the same grammar;
 //! * [`Algorithm`] — which algorithm/variant to run;
-//! * [`run_once`] / [`run_replicated`] — execute a scenario on the
-//!   [`neko`] simulator and measure latency
+//! * [`run_once`] / [`run_replicated`] / [`run_sweep`] — execute
+//!   scenarios on the [`neko`] simulator and measure latency
 //!   (`L = min_i t_deliver_i − t_broadcast`) with 95% confidence
-//!   intervals over replications;
+//!   intervals over replications, fanning replications and sweep
+//!   points across all CPU cores with deterministic results;
 //! * [`paper`] — the exact parameter grids behind each figure of the
 //!   paper's evaluation.
 //!
 //! ```
-//! use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
+//! use study::{run_replicated, Algorithm, FaultScript, RunParams};
 //! use neko::Dur;
 //!
 //! let params = RunParams::new(3, 100.0)
 //!     .with_warmup(Dur::from_millis(200))
 //!     .with_measure(Dur::from_secs(2))
 //!     .with_replications(2);
-//! let out = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &params, 1);
+//! let out = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &params, 1);
 //! let latency = out.latency.expect("well below saturation");
 //! assert!(latency.mean() > 0.0);
 //! ```
 
 pub mod paper;
 mod runner;
+mod script;
 mod stats;
 mod workload;
 
 pub use runner::{
-    run_once, run_replicated, Algorithm, RunOutput, RunParams, ScenarioSpec, SingleRun,
+    run_once, run_replicated, run_sweep, run_sweep_with_workers, Algorithm, RunOutput, RunParams,
+    SingleRun, SweepPoint,
 };
+pub use script::{CompiledScript, FaultEvent, FaultScript, ScriptAction, ScriptTime};
 pub use stats::{Running, Summary};
 pub use workload::{poisson_arrivals, Arrival};

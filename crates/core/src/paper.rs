@@ -5,7 +5,8 @@
 
 use neko::{Dur, Pid};
 
-use crate::runner::{Algorithm, ScenarioSpec};
+use crate::runner::Algorithm;
+use crate::script::FaultScript;
 use fdet::QosParams;
 
 /// Throughput sweep (1/s) used by the latency-vs-throughput figures.
@@ -71,12 +72,12 @@ pub fn fig6_tmr_values_ms() -> Vec<u64> {
 }
 
 /// Fig. 6 scenario for a given `T_MR`.
-pub fn fig6_scenario(tmr_ms: u64) -> ScenarioSpec {
-    ScenarioSpec::SuspicionSteady {
-        qos: QosParams::new()
+pub fn fig6_scenario(tmr_ms: u64) -> FaultScript {
+    FaultScript::suspicion_steady(
+        QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(tmr_ms))
             .with_mistake_duration(Dur::ZERO),
-    }
+    )
 }
 
 /// Fig. 7 — mistake duration sweep (ms).
@@ -95,12 +96,12 @@ pub const FIG7_PANELS: [(usize, f64, u64); 4] = [
 ];
 
 /// Fig. 7 scenario for a panel's `T_MR` and a swept `T_M`.
-pub fn fig7_scenario(tmr_ms: u64, tm_ms: u64) -> ScenarioSpec {
-    ScenarioSpec::SuspicionSteady {
-        qos: QosParams::new()
+pub fn fig7_scenario(tmr_ms: u64, tm_ms: u64) -> FaultScript {
+    FaultScript::suspicion_steady(
+        QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(tmr_ms))
             .with_mistake_duration(Dur::from_millis(tm_ms)),
-    }
+    )
 }
 
 /// Fig. 8 — detection-time values (ms).
@@ -108,12 +109,8 @@ pub const FIG8_TD_MS: [u64; 3] = [0, 10, 100];
 
 /// Fig. 8 scenario: crash of `p1` (first coordinator / sequencer — the
 /// worst case), probe broadcast by `p2` at the crash instant.
-pub fn fig8_scenario(td_ms: u64) -> ScenarioSpec {
-    ScenarioSpec::CrashTransient {
-        crash: Pid::new(0),
-        broadcaster: Pid::new(1),
-        detection: Dur::from_millis(td_ms),
-    }
+pub fn fig8_scenario(td_ms: u64) -> FaultScript {
+    FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(td_ms))
 }
 
 #[cfg(test)]
@@ -148,14 +145,14 @@ mod tests {
 
     #[test]
     fn fig8_crash_is_the_first_process() {
-        let ScenarioSpec::CrashTransient {
-            crash, broadcaster, ..
-        } = fig8_scenario(10)
-        else {
+        use crate::script::FaultEvent;
+        let script = fig8_scenario(10);
+        let [FaultEvent::Crash { pid, .. }] = script.events() else {
             panic!("wrong scenario");
         };
-        assert_eq!(crash, Pid::new(0));
-        assert_ne!(broadcaster, crash);
+        assert_eq!(*pid, Pid::new(0));
+        assert_ne!(script.probe_broadcaster(), Some(*pid));
+        assert!(script.has_probe());
     }
 
     #[test]

@@ -2,15 +2,26 @@
 //! simulator and measures atomic-broadcast latency the way the paper
 //! defines it (Section 5.1): `L = min_i(t_deliver_i) − t_broadcast`,
 //! averaged over many messages and several independent replications.
+//!
+//! A scenario is a [`FaultScript`]; the runner compiles it against
+//! the run dimensions, schedules the resulting injection stream, and
+//! measures either the steady flow or — when the script carries a
+//! probe — the probe broadcast alone. Replications and whole
+//! parameter sweeps fan out across OS threads ([`run_sweep`]) with
+//! per-replication derived seeds and a deterministic merge order, so
+//! results never depend on scheduling.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
-use fdet::{crash_steady_plan, crash_transient_plan, suspicion_steady_plan, QosParams, SuspectSet};
 use neko::{
-    derive_seed, Dur, NetParams, NetStats, NetworkModel, Pid, Process, Sim, SimBuilder, Time,
+    derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, Sim, SimBuilder,
+    Time,
 };
 
+use crate::script::{CompiledScript, FaultScript, ScriptAction};
 use crate::stats::{Running, Summary};
 use crate::workload::poisson_arrivals;
 
@@ -34,37 +45,6 @@ pub enum Algorithm {
 impl Algorithm {
     /// The two algorithms the paper compares.
     pub const PAPER: [Algorithm; 2] = [Algorithm::Fd, Algorithm::Gm];
-}
-
-/// The benchmark scenarios of the paper's Section 5.2.
-#[derive(Clone, Debug, PartialEq)]
-pub enum ScenarioSpec {
-    /// Neither crashes nor wrong suspicions.
-    NormalSteady,
-    /// The listed processes crashed long before the measurement; every
-    /// failure detector suspects them permanently from the start.
-    CrashSteady {
-        /// The crashed processes.
-        crashed: Vec<Pid>,
-    },
-    /// No crashes, but wrong suspicions according to the given QoS
-    /// (`T_MR`, `T_M`), independently per monitored pair.
-    SuspicionSteady {
-        /// Mistake recurrence/duration parameters.
-        qos: QosParams,
-    },
-    /// A single crash after warm-up; one probe message is broadcast at
-    /// the crash instant and its latency measured (`T_D` later, every
-    /// survivor suspects the crashed process).
-    CrashTransient {
-        /// The process that crashes (worst case: the first
-        /// coordinator / the sequencer).
-        crash: Pid,
-        /// The process whose broadcast is measured (`q ≠ p`).
-        broadcaster: Pid,
-        /// Failure-detector detection time `T_D`.
-        detection: Dur,
-    },
 }
 
 /// Run dimensions shared by all scenarios.
@@ -132,6 +112,11 @@ impl RunParams {
         self
     }
 
+    /// Number of independent replications.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
     /// Sets the network model (λ sweeps, coalescing ablation, …).
     pub fn with_net(mut self, net: NetParams) -> Self {
         self.net = net;
@@ -165,10 +150,14 @@ pub struct SingleRun {
     /// Mean latency (ms) over measured messages; `None` when the run
     /// saturated (too many messages never delivered).
     pub mean_latency_ms: Option<f64>,
-    /// Messages inside the measurement window.
+    /// Messages inside the measurement window (broadcast by a process
+    /// that was up at the send instant).
     pub measured: u64,
     /// Measured messages that were never delivered anywhere.
     pub undelivered: u64,
+    /// Latency (ms) of every measured, delivered message, in payload
+    /// order — retained for exact percentiles.
+    pub latencies: Vec<f64>,
     /// Network-model counters for the whole run.
     pub net: NetStats,
 }
@@ -179,6 +168,9 @@ pub struct RunOutput {
     /// Mean-of-means latency with a 95% CI; `None` when more than half
     /// the replications saturated.
     pub latency: Option<Summary>,
+    /// Per-message latencies pooled over the sustaining replications
+    /// (for exact p50/p95/p99); `None` when the scenario saturated.
+    pub messages: Option<Summary>,
     /// How many replications saturated.
     pub saturated: usize,
     /// The individual runs.
@@ -192,97 +184,186 @@ impl RunOutput {
     }
 }
 
+/// One configuration of a parameter sweep: algorithm × scenario ×
+/// run dimensions, under a master seed.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The algorithm to run.
+    pub alg: Algorithm,
+    /// The fault script to run it under.
+    pub script: FaultScript,
+    /// The run dimensions.
+    pub params: RunParams,
+    /// Master seed; replication `r` runs with `derive_seed(seed, r)`.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// Bundles one sweep configuration.
+    pub fn new(alg: Algorithm, script: FaultScript, params: RunParams, seed: u64) -> Self {
+        SweepPoint {
+            alg,
+            script,
+            params,
+            seed,
+        }
+    }
+}
+
+/// Runs every replication of every sweep point across all CPU cores
+/// and aggregates per point, in input order.
+///
+/// The unit of parallelism is a single simulation run, so a fig4-style
+/// sweep (dozens of points × several replications) keeps every core
+/// busy. Each run's seed depends only on its point and replication
+/// index — never on scheduling — and results are merged in
+/// deterministic order, so the output is bit-identical to a
+/// sequential execution.
+pub fn run_sweep(points: &[SweepPoint]) -> Vec<RunOutput> {
+    // `STUDY_SWEEP_THREADS` overrides the worker count (benchmarking,
+    // scaling studies); the default is one worker per CPU core.
+    let workers = std::env::var("STUDY_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    run_sweep_with_workers(points, workers)
+}
+
+/// [`run_sweep`] with an explicit worker-thread count. The output is
+/// bit-identical for every `workers` value — scheduling never leaks
+/// into the results.
+pub fn run_sweep_with_workers(points: &[SweepPoint], workers: usize) -> Vec<RunOutput> {
+    let jobs: Vec<(usize, u64)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| (0..p.params.replications as u64).map(move |r| (i, r)))
+        .collect();
+    let results: Vec<Mutex<Option<SingleRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(pi, rep)) = jobs.get(j) else {
+                    break;
+                };
+                let p = &points[pi];
+                let run = run_once(p.alg, &p.script, &p.params, derive_seed(p.seed, rep));
+                *results[j].lock().expect("result slot poisoned") = Some(run);
+            });
+        }
+    });
+    let mut slots = results.into_iter();
+    points
+        .iter()
+        .map(|p| {
+            let runs: Vec<SingleRun> = (0..p.params.replications)
+                .map(|_| {
+                    slots
+                        .next()
+                        .expect("one slot per job")
+                        .into_inner()
+                        .expect("result slot poisoned")
+                        .expect("worker completed")
+                })
+                .collect();
+            aggregate(runs)
+        })
+        .collect()
+}
+
 /// Runs `replications` independent simulations (in parallel threads)
 /// and aggregates.
 pub fn run_replicated(
     alg: Algorithm,
-    spec: &ScenarioSpec,
+    script: &FaultScript,
     params: &RunParams,
     seed: u64,
 ) -> RunOutput {
-    let runs: Vec<SingleRun> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..params.replications)
-            .map(|rep| {
-                let spec = spec.clone();
-                let params = params.clone();
-                scope.spawn(move || run_once(alg, &spec, &params, derive_seed(seed, rep as u64)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replication panicked"))
-            .collect()
-    });
+    run_sweep(&[SweepPoint::new(alg, script.clone(), params.clone(), seed)])
+        .pop()
+        .expect("one point in, one output out")
+}
+
+fn aggregate(runs: Vec<SingleRun>) -> RunOutput {
     let means: Vec<f64> = runs.iter().filter_map(|r| r.mean_latency_ms).collect();
     let saturated = runs.len() - means.len();
-    let latency = if means.len() * 2 > runs.len() {
-        Some(Summary::from_samples(&means))
-    } else {
-        None
-    };
+    let sustained = means.len() * 2 > runs.len();
+    let latency = sustained.then(|| Summary::from_samples(&means));
+    let messages = sustained
+        .then(|| {
+            let pooled: Vec<f64> = runs
+                .iter()
+                .filter(|r| r.mean_latency_ms.is_some())
+                .flat_map(|r| r.latencies.iter().copied())
+                .collect();
+            (!pooled.is_empty()).then(|| Summary::from_samples(&pooled))
+        })
+        .flatten();
     RunOutput {
         latency,
+        messages,
         saturated,
         runs,
     }
 }
 
-/// Runs one simulation of `alg` under `spec`.
-pub fn run_once(alg: Algorithm, spec: &ScenarioSpec, params: &RunParams, seed: u64) -> SingleRun {
+/// Runs one simulation of `alg` under `script`.
+pub fn run_once(alg: Algorithm, script: &FaultScript, params: &RunParams, seed: u64) -> SingleRun {
     let n = params.n;
-    let initial = initial_suspects(spec);
+    // Probe runs drain from the probe instant (the paper's
+    // crash-transient methodology: the sample is one broadcast, given
+    // the full drain window to deliver); steady runs drain after the
+    // measurement window closes.
+    let end = match script.probe_time(params.warmup) {
+        Some(probe_at) => probe_at + params.drain,
+        None => Time::ZERO + params.warmup + params.measure + params.drain,
+    };
+    let compiled = script.compile(n, params.warmup, end, seed);
+    let initial = compiled.initial_suspects().clone();
     match alg {
-        Algorithm::Fd => run_once_impl(|p| FdNode::<u64>::new(p, n, &initial), spec, params, seed),
-        Algorithm::FdNoRenumber => run_once_impl(
+        Algorithm::Fd => run_impl(
+            |p| FdNode::<u64>::new(p, n, &initial),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        Algorithm::FdNoRenumber => run_impl(
             |p| FdNode::<u64>::new(p, n, &initial).without_renumbering(),
-            spec,
+            &compiled,
             params,
             seed,
+            end,
         ),
-        Algorithm::Gm => run_once_impl(|p| GmNode::<u64>::new(p, n, &initial), spec, params, seed),
-        Algorithm::GmNonUniform => run_once_impl(
+        Algorithm::Gm => run_impl(
+            |p| GmNode::<u64>::new(p, n, &initial),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        Algorithm::GmNonUniform => run_impl(
             |p| GmNode::<u64>::with_uniformity(p, n, &initial, Uniformity::NonUniform),
-            spec,
+            &compiled,
             params,
             seed,
+            end,
         ),
     }
 }
 
-fn initial_suspects(spec: &ScenarioSpec) -> SuspectSet {
-    let mut s = SuspectSet::new();
-    if let ScenarioSpec::CrashSteady { crashed } = spec {
-        for &c in crashed {
-            s.apply(neko::FdEvent::Suspect(c));
-        }
-    }
-    s
-}
+/// The probe's payload: outside the dense workload payload space.
+const PROBE: u64 = u64::MAX;
 
-fn run_once_impl<P>(
+fn run_impl<P>(
     factory: impl FnMut(Pid) -> P,
-    spec: &ScenarioSpec,
+    compiled: &CompiledScript,
     params: &RunParams,
     seed: u64,
-) -> SingleRun
-where
-    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
-{
-    match spec {
-        ScenarioSpec::CrashTransient {
-            crash,
-            broadcaster,
-            detection,
-        } => transient_run(factory, params, seed, *crash, *broadcaster, *detection),
-        _ => steady_run(factory, spec, params, seed),
-    }
-}
-
-fn steady_run<P>(
-    factory: impl FnMut(Pid) -> P,
-    spec: &ScenarioSpec,
-    params: &RunParams,
-    seed: u64,
+    end: Time,
 ) -> SingleRun
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
@@ -292,27 +373,35 @@ where
         .seed(seed)
         .network(params.net)
         .build_with(factory);
+    let probe = compiled.entries().iter().find_map(|(t, a)| match a {
+        ScriptAction::Probe(b) => Some((*t, *b)),
+        _ => None,
+    });
+    if let Some((probe_at, broadcaster)) = probe {
+        probe_run(&mut sim, compiled, params, seed, end, probe_at, broadcaster)
+    } else {
+        steady_run(&mut sim, compiled, params, seed, end)
+    }
+}
+
+/// Steady-state measurement: Poisson workload over the whole
+/// measurement window, latency averaged over every measured message.
+fn steady_run<P>(
+    sim: &mut Sim<P>,
+    compiled: &CompiledScript,
+    params: &RunParams,
+    seed: u64,
+    end: Time,
+) -> SingleRun
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    let n = params.n;
     let send_horizon = Time::ZERO + params.warmup + params.measure;
-    let end = send_horizon + params.drain;
+    schedule_actions(sim, compiled);
 
-    let crashed: &[Pid] = match spec {
-        ScenarioSpec::CrashSteady { crashed } => crashed,
-        _ => &[],
-    };
-    for &c in crashed {
-        sim.schedule_crash(Time::ZERO, c);
-    }
-    match spec {
-        ScenarioSpec::CrashSteady { crashed } => {
-            sim.schedule_fd_plan(crash_steady_plan(n, crashed));
-        }
-        ScenarioSpec::SuspicionSteady { qos } => {
-            sim.schedule_fd_plan(suspicion_steady_plan(n, end, *qos, derive_seed(seed, 0xFD)));
-        }
-        _ => {}
-    }
-
-    let senders: Vec<Pid> = Pid::all(n).filter(|p| !crashed.contains(p)).collect();
+    let ancient = compiled.ancient_crashes();
+    let senders: Vec<Pid> = Pid::all(n).filter(|p| !ancient.contains(p)).collect();
     let arrivals = poisson_arrivals(
         n,
         params.throughput,
@@ -320,9 +409,9 @@ where
         &senders,
         derive_seed(seed, 0x40AD),
     );
-    let mut send_times: BTreeMap<u64, Time> = BTreeMap::new();
+    let mut send_times: BTreeMap<u64, (Time, Pid)> = BTreeMap::new();
     for (t, p, payload) in arrivals {
-        send_times.insert(payload, t);
+        send_times.insert(payload, (t, p));
         sim.schedule_command(t, p, payload);
     }
 
@@ -333,17 +422,36 @@ where
         first_delivery.entry(payload).or_insert(t);
     }
 
+    let downtime = down_intervals(compiled, n);
     let w0 = Time::ZERO + params.warmup;
+    // Both accumulators see every delivered latency: `lat` computes
+    // the mean with Welford's recurrence — which MUST stay, because
+    // the golden-equivalence tests pin the pre-refactor Welford bit
+    // patterns and a sum/len mean can differ in the last ulp — while
+    // `latencies` retains the samples for exact percentiles.
     let mut lat = Running::new();
+    let mut latencies = Vec::new();
     let mut measured = 0u64;
     let mut undelivered = 0u64;
-    for (payload, sent) in &send_times {
+    for (payload, (sent, sender)) in &send_times {
         if *sent < w0 || *sent >= send_horizon {
+            continue;
+        }
+        // A broadcast attempted by a process that was down at the
+        // send instant never entered the system: not a measurement.
+        if downtime[sender.index()]
+            .iter()
+            .any(|(from, until)| *sent >= *from && until.is_none_or(|u| *sent < u))
+        {
             continue;
         }
         measured += 1;
         match first_delivery.get(payload) {
-            Some(t) => lat.push((*t - *sent).as_millis_f64()),
+            Some(t) => {
+                let l = (*t - *sent).as_millis_f64();
+                lat.push(l);
+                latencies.push(l);
+            }
             None => undelivered += 1,
         }
     }
@@ -357,63 +465,107 @@ where
         },
         measured,
         undelivered,
+        latencies,
         net: sim.net_stats(),
     }
 }
 
-fn transient_run<P>(
-    factory: impl FnMut(Pid) -> P,
+/// Probe measurement (the crash-transient methodology): background
+/// load for the whole run, one marked broadcast whose latency is the
+/// sample.
+fn probe_run<P>(
+    sim: &mut Sim<P>,
+    compiled: &CompiledScript,
     params: &RunParams,
     seed: u64,
-    crash: Pid,
+    end: Time,
+    probe_at: Time,
     broadcaster: Pid,
-    detection: Dur,
 ) -> SingleRun
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
 {
-    assert_ne!(crash, broadcaster, "the probe's broadcaster must survive");
     let n = params.n;
-    let mut sim: Sim<P> = SimBuilder::new(n)
-        .seed(seed)
-        .network(params.net)
-        .build_with(factory);
-    let tc = Time::ZERO + params.warmup;
-    // Background load for the whole run; the crashed process's
+    assert!(
+        !compiled.ancient_crashes().contains(&broadcaster),
+        "the probe's broadcaster must be alive"
+    );
+    // Background load for the whole run; a crashed process's
     // post-crash arrivals are dropped by the simulator.
     let senders: Vec<Pid> = Pid::all(n).collect();
-    let horizon = tc + params.drain;
     let arrivals = poisson_arrivals(
         n,
         params.throughput,
-        horizon,
+        end,
         &senders,
         derive_seed(seed, 0x40AD),
     );
-    const PROBE: u64 = u64::MAX;
     for (t, p, payload) in arrivals {
         sim.schedule_command(t, p, payload);
     }
-    sim.schedule_crash(tc, crash);
-    sim.schedule_command(tc, broadcaster, PROBE);
-    sim.schedule_fd_plan(crash_transient_plan(n, crash, tc, detection));
-    sim.run_until(horizon);
+    schedule_actions(sim, compiled);
+    sim.run_until(end);
 
     let first = sim.take_outputs().into_iter().find_map(|(t, _, ev)| {
         let AbcastEvent::Delivered { payload, .. } = ev;
         (payload == PROBE).then_some(t)
     });
+    let lat = first.map(|t| (t - probe_at).as_millis_f64());
     SingleRun {
-        mean_latency_ms: first.map(|t| (t - tc).as_millis_f64()),
+        mean_latency_ms: lat,
         measured: 1,
         undelivered: u64::from(first.is_none()),
+        latencies: lat.into_iter().collect(),
         net: sim.net_stats(),
     }
+}
+
+/// Schedules a compiled script verbatim: injections as themselves,
+/// the probe as a marked command.
+fn schedule_actions<P>(sim: &mut Sim<P>, compiled: &CompiledScript)
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    for (t, act) in compiled.entries() {
+        match act {
+            ScriptAction::Inject(inj) => sim.schedule_injection(*t, inj.clone()),
+            ScriptAction::Probe(b) => sim.schedule_command(*t, *b, PROBE),
+        }
+    }
+}
+
+/// Per-process down intervals `[crash, recover)` (recover = `None`
+/// for good), read back from the compiled injection stream.
+fn down_intervals(compiled: &CompiledScript, n: usize) -> Vec<Vec<(Time, Option<Time>)>> {
+    let mut edges: Vec<(Time, bool, Pid)> = compiled
+        .entries()
+        .iter()
+        .filter_map(|(t, a)| match a {
+            ScriptAction::Inject(Injection::Crash(p)) => Some((*t, true, *p)),
+            ScriptAction::Inject(Injection::Recover(p)) => Some((*t, false, *p)),
+            _ => None,
+        })
+        .collect();
+    edges.sort_by_key(|(t, is_crash, _)| (*t, !*is_crash));
+    let mut down: Vec<Vec<(Time, Option<Time>)>> = vec![Vec::new(); n];
+    for (t, is_crash, p) in edges {
+        let intervals = &mut down[p.index()];
+        if is_crash {
+            if !matches!(intervals.last(), Some((_, None))) {
+                intervals.push((t, None));
+            }
+        } else if let Some((_, until @ None)) = intervals.last_mut() {
+            *until = Some(t);
+        }
+    }
+    down
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::script::ScriptTime;
+    use fdet::QosParams;
 
     fn quick(n: usize, t: f64) -> RunParams {
         RunParams::new(n, t)
@@ -426,7 +578,7 @@ mod tests {
     #[test]
     fn normal_steady_runs_both_algorithms() {
         for alg in Algorithm::PAPER {
-            let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &quick(3, 50.0), 1);
+            let out = run_replicated(alg, &FaultScript::normal_steady(), &quick(3, 50.0), 1);
             let lat = out.latency.expect("not saturated");
             assert!(
                 lat.mean() > 5.0 && lat.mean() < 30.0,
@@ -440,8 +592,8 @@ mod tests {
     #[test]
     fn fd_and_gm_agree_in_normal_steady() {
         let p = quick(3, 100.0);
-        let fd = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 2);
-        let gm = run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &p, 2);
+        let fd = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 2);
+        let gm = run_replicated(Algorithm::Gm, &FaultScript::normal_steady(), &p, 2);
         let (f, g) = (fd.mean_latency_ms().unwrap(), gm.mean_latency_ms().unwrap());
         assert!(
             (f - g).abs() < 1e-9,
@@ -453,14 +605,12 @@ mod tests {
     fn crash_steady_is_faster_than_normal() {
         // Fewer senders → less load → lower latency (paper Fig. 5).
         let p = quick(3, 300.0);
-        let normal = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 3)
+        let normal = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 3)
             .mean_latency_ms()
             .expect("normal sustains");
         let crashed = run_replicated(
             Algorithm::Fd,
-            &ScenarioSpec::CrashSteady {
-                crashed: vec![Pid::new(2)],
-            },
+            &FaultScript::crash_steady(&[Pid::new(2)]),
             &p,
             3,
         )
@@ -481,7 +631,7 @@ mod tests {
             for alg in Algorithm::PAPER {
                 let p = quick(3, 50.0).with_network_model(model);
                 assert_eq!(p.network_model(), model);
-                let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &p, 9);
+                let out = run_replicated(alg, &FaultScript::normal_steady(), &p, 9);
                 let lat = out
                     .latency
                     .unwrap_or_else(|| panic!("{alg:?}/{model:?} saturated"));
@@ -500,8 +650,8 @@ mod tests {
     #[test]
     fn topology_dimension_is_deterministic() {
         let p = quick(3, 80.0).with_network_model(NetworkModel::Switched);
-        let a = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 7);
-        let b = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 7);
+        let a = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 7);
+        let b = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 7);
         assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
     }
 
@@ -509,22 +659,19 @@ mod tests {
     fn oversaturated_run_reports_none() {
         // 5000 msg/s is far beyond the model's capacity.
         let p = quick(3, 5000.0).with_replications(1);
-        let out = run_replicated(Algorithm::Fd, &ScenarioSpec::NormalSteady, &p, 4);
+        let out = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 4);
         assert!(out.latency.is_none());
+        assert!(out.messages.is_none());
         assert_eq!(out.saturated, 1);
     }
 
     #[test]
     fn crash_transient_latency_exceeds_detection_time() {
         let td = Dur::from_millis(50);
-        let spec = ScenarioSpec::CrashTransient {
-            crash: Pid::new(0),
-            broadcaster: Pid::new(1),
-            detection: td,
-        };
+        let script = FaultScript::crash_transient(Pid::new(0), Pid::new(1), td);
         let p = quick(3, 20.0).with_drain(Dur::from_secs(2));
         for alg in Algorithm::PAPER {
-            let out = run_replicated(alg, &spec, &p, 5);
+            let out = run_replicated(alg, &script, &p, 5);
             let lat = out.latency.expect("probe delivered");
             assert!(
                 lat.mean() >= td.as_millis_f64(),
@@ -543,9 +690,163 @@ mod tests {
             .with_mistake_duration(Dur::ZERO);
         let p = quick(3, 50.0);
         let normal =
-            run_replicated(Algorithm::Gm, &ScenarioSpec::NormalSteady, &p, 6).mean_latency_ms();
-        let rare = run_replicated(Algorithm::Gm, &ScenarioSpec::SuspicionSteady { qos }, &p, 6)
+            run_replicated(Algorithm::Gm, &FaultScript::normal_steady(), &p, 6).mean_latency_ms();
+        let rare = run_replicated(Algorithm::Gm, &FaultScript::suspicion_steady(qos), &p, 6)
             .mean_latency_ms();
         assert_eq!(normal, rare, "no mistakes in the window ⇒ identical run");
+    }
+
+    #[test]
+    fn message_percentiles_bracket_the_mean() {
+        let out = run_replicated(
+            Algorithm::Fd,
+            &FaultScript::normal_steady(),
+            &quick(3, 100.0),
+            8,
+        );
+        let msgs = out.messages.as_ref().expect("sustained");
+        let (p50, p99) = (msgs.p50().unwrap(), msgs.p99().unwrap());
+        assert!(p50 <= p99, "p50={p50} p99={p99}");
+        assert!(msgs.len() as u64 >= out.runs.iter().map(|r| r.measured).sum::<u64>() / 2);
+        assert!(p99 >= out.mean_latency_ms().unwrap() * 0.5);
+    }
+
+    #[test]
+    fn crash_recover_runs_end_to_end() {
+        // p3 crashes mid-measurement and recovers; the group keeps
+        // delivering throughout and the run must not saturate: the
+        // recovered process's broadcasts count again.
+        let script = FaultScript::crash_recover(
+            Pid::new(2),
+            Dur::from_millis(200),
+            Dur::from_millis(600),
+            Dur::from_millis(30),
+        );
+        for alg in Algorithm::PAPER {
+            let out = run_replicated(alg, &script, &quick(3, 50.0), 11);
+            let lat = out.latency.unwrap_or_else(|| panic!("{alg:?} saturated"));
+            assert!(lat.mean() > 0.0, "{alg:?}: {}", lat.mean());
+            assert_eq!(out.saturated, 0, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn crash_recover_excludes_downtime_broadcasts_from_measurement() {
+        let script = FaultScript::crash_recover(
+            Pid::new(2),
+            Dur::from_millis(200),
+            Dur::from_millis(600),
+            Dur::from_millis(30),
+        );
+        let p = quick(3, 90.0);
+        let down = run_replicated(Algorithm::Fd, &script, &p, 12);
+        let up = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 12);
+        let down_measured: u64 = down.runs.iter().map(|r| r.measured).sum();
+        let up_measured: u64 = up.runs.iter().map(|r| r.measured).sum();
+        assert!(
+            down_measured < up_measured,
+            "downtime broadcasts must not count: {down_measured} vs {up_measured}"
+        );
+    }
+
+    #[test]
+    fn healing_partition_runs_end_to_end() {
+        // A minority process is cut off for a while; the majority
+        // keeps delivering. Broadcasts by the isolated minority can
+        // stay undelivered until the heal, so allow a generous
+        // saturation margin.
+        let script = FaultScript::healing_partition(
+            vec![vec![Pid::new(0), Pid::new(1)], vec![Pid::new(2)]],
+            Dur::from_millis(200),
+            Dur::from_millis(500),
+            Dur::from_millis(30),
+        );
+        let p = quick(3, 50.0)
+            .with_drain(Dur::from_secs(2))
+            .with_saturation_frac(0.5);
+        for alg in Algorithm::PAPER {
+            let out = run_replicated(alg, &script, &p, 13);
+            let lat = out.latency.unwrap_or_else(|| panic!("{alg:?} saturated"));
+            assert!(lat.mean() > 0.0, "{alg:?}: {}", lat.mean());
+        }
+    }
+
+    #[test]
+    fn churn_scenario_runs_end_to_end() {
+        let script = FaultScript::default()
+            .churn(
+                ScriptTime::AfterWarmup(Dur::from_millis(100)),
+                Pid::new(2),
+                Dur::from_millis(300),
+                Dur::from_millis(20),
+            )
+            .churn(
+                ScriptTime::AfterWarmup(Dur::from_millis(800)),
+                Pid::new(1),
+                Dur::from_millis(300),
+                Dur::from_millis(20),
+            );
+        let out = run_replicated(Algorithm::Fd, &script, &quick(3, 40.0), 14);
+        assert!(out.latency.is_some(), "churn must be sustainable");
+    }
+
+    #[test]
+    fn late_probe_gets_its_full_drain_window() {
+        // Probe 1 s past warm-up with a 1 s drain: a fixed
+        // warmup+drain horizon would end the run at the probe instant
+        // and report every replication saturated.
+        let script = FaultScript::default()
+            .crash(
+                ScriptTime::AfterWarmup(Dur::from_secs(1)),
+                Pid::new(0),
+                Dur::from_millis(30),
+            )
+            .with_probe(ScriptTime::AfterWarmup(Dur::from_secs(1)), Pid::new(1));
+        let out = run_replicated(Algorithm::Fd, &script, &quick(3, 20.0), 15);
+        let lat = out.latency.expect("late probe must still deliver");
+        assert!(lat.mean() > 0.0);
+        assert_eq!(out.saturated, 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let p = quick(3, 70.0).with_replications(3);
+        let points = vec![
+            SweepPoint::new(Algorithm::Fd, FaultScript::normal_steady(), p.clone(), 31),
+            SweepPoint::new(Algorithm::Gm, FaultScript::normal_steady(), p, 32),
+        ];
+        let serial = run_sweep_with_workers(&points, 1);
+        let fanned = run_sweep_with_workers(&points, 4);
+        for (a, b) in serial.iter().zip(&fanned) {
+            let bits = |o: &RunOutput| {
+                o.runs
+                    .iter()
+                    .map(|r| r.mean_latency_ms.map(f64::to_bits))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bits(a), bits(b), "scheduling leaked into the results");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs_in_order() {
+        let p = quick(3, 60.0);
+        let points = vec![
+            SweepPoint::new(Algorithm::Fd, FaultScript::normal_steady(), p.clone(), 21),
+            SweepPoint::new(
+                Algorithm::Gm,
+                FaultScript::crash_steady(&[Pid::new(2)]),
+                p.clone(),
+                22,
+            ),
+            SweepPoint::new(Algorithm::Fd, FaultScript::normal_steady(), p.clone(), 23),
+        ];
+        let swept = run_sweep(&points);
+        assert_eq!(swept.len(), 3);
+        for (point, out) in points.iter().zip(&swept) {
+            let solo = run_replicated(point.alg, &point.script, &point.params, point.seed);
+            assert_eq!(solo.mean_latency_ms(), out.mean_latency_ms());
+            assert_eq!(solo.saturated, out.saturated);
+        }
     }
 }

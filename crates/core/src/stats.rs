@@ -19,7 +19,8 @@ fn t95(df: usize) -> f64 {
     }
 }
 
-/// Sample mean with a 95% confidence interval.
+/// Sample mean with a 95% confidence interval, plus exact percentiles
+/// from the retained samples.
 ///
 /// ```
 /// use study::Summary;
@@ -28,17 +29,22 @@ fn t95(df: usize) -> f64 {
 /// assert_eq!(s.mean(), 11.5);
 /// assert!(s.ci95() > 0.0);
 /// assert_eq!(s.len(), 4);
+/// assert_eq!(s.p50(), Some(11.0));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     mean: f64,
     var: f64,
     n: usize,
+    /// The samples, sorted ascending — `None` when built from a
+    /// streaming accumulator that retained nothing.
+    sorted: Option<Box<[f64]>>,
 }
 
 impl Summary {
-    /// Summarises `samples` (mean, unbiased variance).
+    /// Summarises `samples` (mean, unbiased variance) and retains a
+    /// sorted copy for exact percentiles.
     ///
     /// # Panics
     ///
@@ -52,7 +58,14 @@ impl Summary {
         } else {
             0.0
         };
-        Summary { mean, var, n }
+        let mut sorted: Box<[f64]> = samples.into();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            mean,
+            var,
+            n,
+            sorted: Some(sorted),
+        }
     }
 
     /// The sample mean.
@@ -87,6 +100,35 @@ impl Summary {
             return f64::INFINITY;
         }
         t95(self.n - 1) * (self.var / self.n as f64).sqrt()
+    }
+
+    /// The exact `p`-th percentile (nearest-rank over the retained
+    /// samples), or `None` when the summary was built from a
+    /// streaming accumulator that kept no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 100`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        let sorted = self.sorted.as_ref()?;
+        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// The median (see [`Summary::percentile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// The 95th percentile (see [`Summary::percentile`]).
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// The 99th percentile (see [`Summary::percentile`]).
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
     }
 }
 
@@ -167,7 +209,8 @@ impl Running {
         self.max
     }
 
-    /// Converts to a [`Summary`].
+    /// Converts to a [`Summary`]. The stream was not retained, so the
+    /// summary has no percentiles.
     ///
     /// # Panics
     ///
@@ -178,6 +221,7 @@ impl Running {
             mean: self.mean,
             var: self.variance(),
             n: self.n as usize,
+            sorted: None,
         }
     }
 }
@@ -238,5 +282,44 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn empty_summary_panics() {
         let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        // 100 samples in scrambled order: the k-th percentile is k.
+        let xs: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let s = Summary::from_samples(&xs);
+        assert_eq!(s.p50(), Some(50.0));
+        assert_eq!(s.p95(), Some(95.0));
+        assert_eq!(s.p99(), Some(99.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(0.5), Some(1.0));
+
+        let one = Summary::from_samples(&[42.0]);
+        assert_eq!(one.p50(), Some(42.0));
+        assert_eq!(one.p99(), Some(42.0));
+    }
+
+    #[test]
+    fn percentiles_of_odd_counts() {
+        let s = Summary::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.p50(), Some(2.0)); // ceil(0.5 * 3) = 2nd
+        assert_eq!(s.p95(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn zeroth_percentile_rejected() {
+        let _ = Summary::from_samples(&[1.0]).percentile(0.0);
+    }
+
+    #[test]
+    fn streamed_summary_has_no_percentiles() {
+        let mut r = Running::new();
+        r.push(1.0);
+        r.push(2.0);
+        let s = r.summary();
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.mean(), 1.5);
     }
 }

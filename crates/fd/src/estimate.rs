@@ -170,9 +170,11 @@ mod tests {
         let horizon = Time::from_secs(600);
         let plan = suspicion_steady_plan(2, horizon, params, 5);
         let mut est = QosEstimator::new();
-        for (t, q, ev) in plan {
-            if q == Pid::new(0) && ev.subject() == Pid::new(1) {
-                est.observe(t, ev);
+        for (t, inj) in plan {
+            if let neko::Injection::Fd(q, ev) = inj {
+                if q == Pid::new(0) && ev.subject() == Pid::new(1) {
+                    est.observe(t, ev);
+                }
             }
         }
         let got_tm = est

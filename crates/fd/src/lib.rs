@@ -8,10 +8,13 @@
 //! `T_M` (both exponential, independent per monitored pair).
 //!
 //! * [`QosParams`] — the three metrics;
-//! * [`crash_steady_plan`], [`crash_transient_plan`],
-//!   [`suspicion_steady_plan`] — turn a benchmark scenario into a
-//!   stream of timestamped [`neko::FdEvent`]s to inject into a
-//!   simulation;
+//! * the plan compilers — [`crash_steady_plan`],
+//!   [`crash_transient_plan`], [`suspicion_steady_plan`],
+//!   [`suspicion_burst_plan`], [`recovery_plan`],
+//!   [`partition_cut_plan`], [`partition_heal_plan`] — turn one fault
+//!   into a stream of timestamped [`neko::Injection`]s (a
+//!   [`PlanEntry`] stream) for [`neko::Sim::schedule_plan`]; fault
+//!   scripts (`study::FaultScript`) concatenate these streams;
 //! * [`SuspectSet`] — per-process bookkeeping used by the protocol
 //!   state machines;
 //! * [`QosEstimator`] — measures the metrics back from an observed
@@ -26,7 +29,7 @@
 //!     .with_mistake_recurrence(Dur::from_millis(1_000))
 //!     .with_mistake_duration(Dur::ZERO);
 //! let plan = suspicion_steady_plan(3, Time::from_secs(10), qos, 42);
-//! assert!(!plan.is_empty()); // ready for Sim::schedule_fd_plan
+//! assert!(!plan.is_empty()); // ready for Sim::schedule_plan
 //! ```
 
 mod estimate;
@@ -35,6 +38,7 @@ mod suspect;
 
 pub use estimate::QosEstimator;
 pub use qos::{
-    crash_steady_plan, crash_transient_plan, suspicion_steady_plan, PlanEntry, QosParams,
+    crash_steady_plan, crash_transient_plan, partition_cut_plan, partition_heal_plan,
+    recovery_plan, suspicion_burst_plan, suspicion_steady_plan, PlanEntry, QosParams,
 };
 pub use suspect::SuspectSet;

@@ -15,15 +15,19 @@
 //!   (exponential).
 //!
 //! Modules are independent and identically distributed, as in the
-//! paper. The generators below turn these metrics into *plans*:
-//! streams of timestamped [`FdEvent`]s to inject into a simulation
-//! ([`neko::Sim::schedule_fd_plan`]).
+//! paper. The compilers below turn these metrics into *plans*:
+//! streams of timestamped [`neko::Injection`]s (here all
+//! failure-detector edges) ready for [`neko::Sim::schedule_plan`].
+//! Fault scripts (`study::FaultScript`) compile each of their events
+//! through one of these plan compilers and concatenate the streams.
 
-use neko::{sample_exp_micros, stream_rng, Dur, FdEvent, Pid, Time};
+use neko::{sample_exp_micros, stream_rng, Dur, FdEvent, Injection, Partition, Pid, Time};
 
-/// One timestamped failure-detector edge: at `time`, the detector *at*
-/// process `.1` reports `.2`.
-pub type PlanEntry = (Time, Pid, FdEvent);
+/// One timestamped kernel injection. The compilers in this module
+/// emit [`Injection::Fd`] edges; fault-script compilation interleaves
+/// them with crash, recovery and partition injections into one
+/// unified stream for [`neko::Sim::schedule_plan`].
+pub type PlanEntry = (Time, Injection);
 
 /// QoS parameters of the (identically distributed) failure-detector
 /// modules.
@@ -115,7 +119,7 @@ pub fn crash_steady_plan(n: usize, crashed: &[Pid]) -> Vec<PlanEntry> {
         }
         for &p in crashed {
             if p != q {
-                plan.push((Time::ZERO, q, FdEvent::Suspect(p)));
+                plan.push((Time::ZERO, Injection::Fd(q, FdEvent::Suspect(p))));
             }
         }
     }
@@ -128,8 +132,53 @@ pub fn crash_steady_plan(n: usize, crashed: &[Pid]) -> Vec<PlanEntry> {
 pub fn crash_transient_plan(n: usize, p: Pid, crash_at: Time, detection: Dur) -> Vec<PlanEntry> {
     Pid::all(n)
         .filter(|&q| q != p)
-        .map(|q| (crash_at + detection, q, FdEvent::Suspect(p)))
+        .map(|q| (crash_at + detection, Injection::Fd(q, FdEvent::Suspect(p))))
         .collect()
+}
+
+/// Plan for a **recovery**: `p` came back at `recover_at`; every
+/// other process stops suspecting it `T_D` later (the detectors need
+/// the same detection delay to notice life as they needed to notice
+/// death).
+pub fn recovery_plan(n: usize, p: Pid, recover_at: Time, detection: Dur) -> Vec<PlanEntry> {
+    Pid::all(n)
+        .filter(|&q| q != p)
+        .map(|q| (recover_at + detection, Injection::Fd(q, FdEvent::Trust(p))))
+        .collect()
+}
+
+/// Plan for a **partition cut**: `T_D` after the cut, every process
+/// suspects every process it can no longer reach.
+pub fn partition_cut_plan(n: usize, part: &Partition, at: Time, detection: Dur) -> Vec<PlanEntry> {
+    cross_partition_edges(n, part, at + detection, FdEvent::Suspect)
+}
+
+/// Plan for a **partition heal**: `T_D` after the heal, every process
+/// trusts again every process the cut had hidden from it.
+pub fn partition_heal_plan(
+    n: usize,
+    part: &Partition,
+    heal_at: Time,
+    detection: Dur,
+) -> Vec<PlanEntry> {
+    cross_partition_edges(n, part, heal_at + detection, FdEvent::Trust)
+}
+
+fn cross_partition_edges(
+    n: usize,
+    part: &Partition,
+    at: Time,
+    edge: impl Fn(Pid) -> FdEvent,
+) -> Vec<PlanEntry> {
+    let mut plan = Vec::new();
+    for q in Pid::all(n) {
+        for p in Pid::all(n) {
+            if p != q && !part.allows(q, p) {
+                plan.push((at, Injection::Fd(q, edge(p))));
+            }
+        }
+    }
+    plan
 }
 
 /// Plan for the **suspicion-steady** scenario: no crashes, but every
@@ -137,28 +186,46 @@ pub fn crash_transient_plan(n: usize, p: Pid, crash_at: Time, detection: Dur) ->
 /// independent renewal process — mistakes start `Exp(T_MR)` apart and
 /// last `Exp(T_M)`.
 ///
-/// Overlapping mistakes of one pair are merged into a single suspicion
-/// interval, so the emitted edges strictly alternate
-/// `Suspect`/`Trust`. Zero-length mistakes emit both edges at the
-/// same instant (`Suspect` first), which is how the paper's `T_M = 0`
-/// configuration still perturbs the algorithms.
-///
 /// The plan covers `[0, horizon)` and is deterministic in `seed`.
+/// Shorthand for [`suspicion_burst_plan`] over the whole run with all
+/// processes as targets.
 pub fn suspicion_steady_plan(
     n: usize,
     horizon: Time,
     params: QosParams,
     seed: u64,
 ) -> Vec<PlanEntry> {
+    suspicion_burst_plan(n, Time::ZERO, horizon, params, seed, None)
+}
+
+/// Plan for a **suspicion burst**: wrong suspicions according to the
+/// given QoS, but only inside the window `[from, until)` and — when
+/// `targets` is given — only *about* the listed processes (every
+/// process still observes them independently).
+///
+/// Overlapping mistakes of one pair are merged into a single
+/// suspicion interval, so the emitted edges strictly alternate
+/// `Suspect`/`Trust` per pair. Zero-length mistakes emit both edges
+/// at the same instant (`Suspect` first), which is how the paper's
+/// `T_M = 0` configuration still perturbs the algorithms.
+pub fn suspicion_burst_plan(
+    n: usize,
+    from: Time,
+    until: Time,
+    params: QosParams,
+    seed: u64,
+    targets: Option<&[Pid]>,
+) -> Vec<PlanEntry> {
     let mut plan = Vec::new();
-    if !params.makes_mistakes() {
+    if !params.makes_mistakes() || until <= from {
         return plan;
     }
+    let window = until.as_micros() - from.as_micros();
     let tmr_mean = params.mistake_recurrence().as_micros() as f64;
     let tm_mean = params.mistake_duration().as_micros() as f64;
     for q in Pid::all(n) {
         for p in Pid::all(n) {
-            if p == q {
+            if p == q || targets.is_some_and(|ts| !ts.contains(&p)) {
                 continue;
             }
             let stream = (q.index() * n + p.index()) as u64;
@@ -167,14 +234,14 @@ pub fn suspicion_steady_plan(
             let mut interval: Option<(u64, u64)> = None;
             // First mistake: stationary start — offset into the cycle.
             let mut next_start = sample_exp_micros(&mut rng, tmr_mean);
-            while next_start < horizon.as_micros() {
+            while next_start < window {
                 let dur = sample_exp_micros(&mut rng, tm_mean);
                 let end = next_start.saturating_add(dur);
                 interval = match interval {
                     None => Some((next_start, end)),
                     Some((s, e)) if next_start <= e => Some((s, e.max(end))),
                     Some((s, e)) => {
-                        push_interval(&mut plan, q, p, s, e, horizon);
+                        push_interval(&mut plan, q, p, s, e, from, window);
                         Some((next_start, end))
                     }
                 };
@@ -182,33 +249,60 @@ pub fn suspicion_steady_plan(
                     next_start.saturating_add(sample_exp_micros(&mut rng, tmr_mean).max(1));
             }
             if let Some((s, e)) = interval {
-                push_interval(&mut plan, q, p, s, e, horizon);
+                push_interval(&mut plan, q, p, s, e, from, window);
             }
         }
     }
-    plan.sort_by_key(|(t, q, ev)| (*t, q.index(), matches!(ev, FdEvent::Trust(_))));
+    plan.sort_by_key(|(t, inj)| match inj {
+        Injection::Fd(q, ev) => (*t, q.index(), matches!(ev, FdEvent::Trust(_))),
+        _ => unreachable!("burst plans contain only FD edges"),
+    });
     plan
 }
 
-fn push_interval(plan: &mut Vec<PlanEntry>, q: Pid, p: Pid, start: u64, end: u64, horizon: Time) {
-    plan.push((Time::from_micros(start), q, FdEvent::Suspect(p)));
-    let end = end.min(horizon.as_micros());
-    plan.push((Time::from_micros(end), q, FdEvent::Trust(p)));
+fn push_interval(
+    plan: &mut Vec<PlanEntry>,
+    q: Pid,
+    p: Pid,
+    start: u64,
+    end: u64,
+    from: Time,
+    window: u64,
+) {
+    let base = from.as_micros();
+    plan.push((
+        Time::from_micros(base + start),
+        Injection::Fd(q, FdEvent::Suspect(p)),
+    ));
+    let end = end.min(window);
+    plan.push((
+        Time::from_micros(base + end),
+        Injection::Fd(q, FdEvent::Trust(p)),
+    ));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Destructures an entry that must be an FD edge.
+    fn fd(entry: &PlanEntry) -> (Time, Pid, FdEvent) {
+        match entry {
+            (t, Injection::Fd(q, ev)) => (*t, *q, *ev),
+            other => panic!("expected an FD edge, got {other:?}"),
+        }
+    }
+
     #[test]
     fn crash_steady_suspects_all_crashed_at_zero() {
         let crashed = [Pid::new(2)];
         let plan = crash_steady_plan(4, &crashed);
         assert_eq!(plan.len(), 3); // three survivors suspect p3
-        for (t, q, ev) in &plan {
-            assert_eq!(*t, Time::ZERO);
-            assert_ne!(*q, Pid::new(2));
-            assert_eq!(*ev, FdEvent::Suspect(Pid::new(2)));
+        for entry in &plan {
+            let (t, q, ev) = fd(entry);
+            assert_eq!(t, Time::ZERO);
+            assert_ne!(q, Pid::new(2));
+            assert_eq!(ev, FdEvent::Suspect(Pid::new(2)));
         }
     }
 
@@ -224,11 +318,41 @@ mod tests {
     fn crash_transient_fires_detection_time_after_crash() {
         let plan = crash_transient_plan(3, Pid::new(0), Time::from_secs(5), Dur::from_millis(100));
         assert_eq!(plan.len(), 2);
-        for (t, q, ev) in &plan {
-            assert_eq!(*t, Time::from_secs(5) + Dur::from_millis(100));
-            assert_ne!(*q, Pid::new(0));
-            assert_eq!(*ev, FdEvent::Suspect(Pid::new(0)));
+        for entry in &plan {
+            let (t, q, ev) = fd(entry);
+            assert_eq!(t, Time::from_secs(5) + Dur::from_millis(100));
+            assert_ne!(q, Pid::new(0));
+            assert_eq!(ev, FdEvent::Suspect(Pid::new(0)));
         }
+    }
+
+    #[test]
+    fn recovery_trusts_detection_time_after_return() {
+        let plan = recovery_plan(3, Pid::new(1), Time::from_secs(2), Dur::from_millis(40));
+        assert_eq!(plan.len(), 2);
+        for entry in &plan {
+            let (t, q, ev) = fd(entry);
+            assert_eq!(t, Time::from_secs(2) + Dur::from_millis(40));
+            assert_ne!(q, Pid::new(1));
+            assert_eq!(ev, FdEvent::Trust(Pid::new(1)));
+        }
+    }
+
+    #[test]
+    fn partition_plans_cover_exactly_the_cut_pairs() {
+        let part = Partition::split(&[vec![Pid::new(0), Pid::new(1)], vec![Pid::new(2)]]);
+        let cut = partition_cut_plan(3, &part, Time::from_secs(1), Dur::from_millis(30));
+        // p1⇹p3, p2⇹p3 in both directions.
+        assert_eq!(cut.len(), 4);
+        for entry in &cut {
+            let (t, q, ev) = fd(entry);
+            assert_eq!(t, Time::from_secs(1) + Dur::from_millis(30));
+            assert!(!part.allows(q, ev.subject()));
+            assert!(matches!(ev, FdEvent::Suspect(_)));
+        }
+        let heal = partition_heal_plan(3, &part, Time::from_secs(4), Dur::from_millis(30));
+        assert_eq!(heal.len(), 4);
+        assert!(heal.iter().all(|e| matches!(fd(e).2, FdEvent::Trust(_))));
     }
 
     #[test]
@@ -250,13 +374,14 @@ mod tests {
             for p in Pid::all(3) {
                 let edges: Vec<_> = plan
                     .iter()
+                    .map(fd)
                     .filter(|(_, at, ev)| *at == q && ev.subject() == p)
                     .collect();
                 let mut suspected = false;
                 let mut last = Time::ZERO;
                 for (t, _, ev) in edges {
-                    assert!(*t >= last);
-                    last = *t;
+                    assert!(t >= last);
+                    last = t;
                     match ev {
                         FdEvent::Suspect(_) => {
                             assert!(!suspected, "double suspect for {q}->{p}");
@@ -283,14 +408,16 @@ mod tests {
         // Every suspect is matched by a trust at the same instant.
         let suspects = plan
             .iter()
+            .map(fd)
             .filter(|(_, _, e)| matches!(e, FdEvent::Suspect(_)));
         let trusts: Vec<_> = plan
             .iter()
+            .map(fd)
             .filter(|(_, _, e)| matches!(e, FdEvent::Trust(_)))
             .collect();
         for (i, (t, q, _)) in suspects.enumerate() {
-            assert_eq!(trusts[i].0, *t);
-            assert_eq!(trusts[i].1, *q);
+            assert_eq!(trusts[i].0, t);
+            assert_eq!(trusts[i].1, q);
         }
     }
 
@@ -322,5 +449,54 @@ mod tests {
         let c = suspicion_steady_plan(3, Time::from_secs(5), params, 43);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn burst_plan_stays_inside_its_window() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(20))
+            .with_mistake_duration(Dur::from_millis(10));
+        let from = Time::from_secs(2);
+        let until = Time::from_secs(3);
+        let plan = suspicion_burst_plan(3, from, until, params, 9, None);
+        assert!(!plan.is_empty());
+        for (t, _) in &plan {
+            assert!(*t >= from && *t <= until, "edge at {t} escapes window");
+        }
+    }
+
+    #[test]
+    fn burst_plan_targets_restrict_subjects_not_observers() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(20))
+            .with_mistake_duration(Dur::from_millis(5));
+        let target = Pid::new(2);
+        let plan = suspicion_burst_plan(
+            4,
+            Time::ZERO,
+            Time::from_secs(2),
+            params,
+            13,
+            Some(&[target]),
+        );
+        assert!(!plan.is_empty());
+        let mut observers = std::collections::BTreeSet::new();
+        for entry in &plan {
+            let (_, q, ev) = fd(entry);
+            assert_eq!(ev.subject(), target, "only the target is suspected");
+            observers.insert(q.index());
+        }
+        assert_eq!(observers.len(), 3, "every other process observes");
+    }
+
+    #[test]
+    fn burst_plan_over_full_run_equals_steady_plan() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(40))
+            .with_mistake_duration(Dur::from_millis(10));
+        let horizon = Time::from_secs(5);
+        let steady = suspicion_steady_plan(3, horizon, params, 21);
+        let burst = suspicion_burst_plan(3, Time::ZERO, horizon, params, 21, None);
+        assert_eq!(steady, burst);
     }
 }

@@ -344,15 +344,37 @@ impl<U: Unstable> Membership<U> {
                 }
             }
             GmMsg::Welcome { view, members } => {
-                if matches!(self.mode, Mode::Excluded { .. }) && view > self.view.id() {
-                    let v = View::new(view, members);
-                    self.universe.extend(v.members().iter().copied());
-                    self.view = v.clone();
-                    self.mode = Mode::Member;
-                    self.vc = None;
-                    self.future.retain(|vid, _| *vid >= view);
-                    out.push(GmAction::Readmitted { view: v });
-                    self.needs_poll = true;
+                if view <= self.view.id() {
+                    return;
+                }
+                let v = View::new(view, members);
+                self.universe.extend(v.members().iter().copied());
+                if v.contains(self.me) {
+                    // Admitted: adopt the view. (As a member of an
+                    // older view we instead learn of newer views
+                    // through the ordinary view-change traffic.)
+                    if matches!(self.mode, Mode::Excluded { .. }) {
+                        self.view = v.clone();
+                        self.mode = Mode::Member;
+                        self.vc = None;
+                        self.future.retain(|vid, _| *vid >= view);
+                        out.push(GmAction::Readmitted { view: v });
+                        self.needs_poll = true;
+                    }
+                } else {
+                    // A newer view that excludes us: the group
+                    // reconfigured while we were down (crash-recovery,
+                    // healed partition) and this is how we find out.
+                    match &mut self.mode {
+                        Mode::Member => {
+                            self.vc = None;
+                            self.mode = Mode::Excluded { known: v.clone() };
+                            self.join_attempts = 0;
+                            out.push(GmAction::Excluded { view: v });
+                        }
+                        Mode::Excluded { known } if view > known.id() => *known = v,
+                        Mode::Excluded { .. } => {}
+                    }
                 }
             }
         }

@@ -11,6 +11,7 @@ use std::collections::{BTreeSet, BinaryHeap};
 use rand::rngs::SmallRng;
 use rand::RngCore;
 
+use crate::inject::Partition;
 use crate::net::{
     build_topology, Cpu, CpuJob, LinkId, NetFx, NetParams, NetStats, SendJob, Topology,
 };
@@ -31,6 +32,12 @@ pub(crate) enum Ev<M, C> {
     Timer { at: Pid, id: TimerId, tag: u64 },
     /// Process `at` crashes (software crash).
     Crash { at: Pid },
+    /// Process `at` resumes with its pre-crash state.
+    Recover { at: Pid },
+    /// The network splits into the given groups.
+    Partition { part: Partition },
+    /// The network heals.
+    Heal,
     /// The CPU of host `at` finished its current job.
     CpuDone { at: Pid },
     /// The wire resource `link` finished transmitting its current
@@ -76,6 +83,7 @@ pub(crate) struct Kernel<M: Message, C, O> {
     /// Scratch effect buffers, drained after every topology call.
     fx: NetFx<M>,
     pub(crate) crashed: Vec<Option<Time>>,
+    partition: Option<Partition>,
     suspects: Vec<u64>,
     cancelled_timers: BTreeSet<u64>,
     next_timer: u64,
@@ -97,6 +105,7 @@ impl<M: Message, C, O> Kernel<M, C, O> {
             net: build_topology(&params, n, seed),
             fx: NetFx::default(),
             crashed: vec![None; n],
+            partition: None,
             suspects: vec![0; n],
             cancelled_timers: BTreeSet::new(),
             next_timer: 0,
@@ -223,7 +232,23 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         }
     }
 
-    fn net_enqueue(&mut self, job: SendJob<M>) {
+    fn net_enqueue(&mut self, mut job: SendJob<M>) {
+        // A partition drops crossing messages at the moment they leave
+        // the sending CPU; messages already on the wire still arrive.
+        if let Some(part) = &self.partition {
+            let mut reachable = DestSet::default();
+            for dest in job.dests.iter() {
+                if part.allows(job.from, dest) {
+                    reachable.insert(dest);
+                } else {
+                    self.stats.dropped_partitioned += 1;
+                }
+            }
+            if reachable.is_empty() {
+                return;
+            }
+            job.dests = reachable;
+        }
         let mut fx = std::mem::take(&mut self.fx);
         self.net.submit(self.now, job, &mut fx, &mut self.stats);
         self.apply_net_fx(&mut fx);
@@ -257,6 +282,17 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         if self.crashed[p.index()].is_none() {
             self.crashed[p.index()] = Some(self.now);
         }
+    }
+
+    /// Crash-recovery: `p` resumes with its pre-crash state (perfect
+    /// stable storage). Returns whether `p` was actually down (a
+    /// recovery of a live process is a no-op).
+    pub(crate) fn recover(&mut self, p: Pid) -> bool {
+        self.crashed[p.index()].take().is_some()
+    }
+
+    pub(crate) fn set_partition(&mut self, part: Option<Partition>) {
+        self.partition = part;
     }
 
     pub(crate) fn timer_fires(&mut self, id: TimerId) -> bool {

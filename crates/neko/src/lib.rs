@@ -25,6 +25,10 @@
 //!   crashed host's CPU (or queued) are still sent.
 //! * Failure detectors are abstract: the driver injects
 //!   [`FdEvent`]s; processes see a suspect set and edge notifications.
+//! * Drivers perturb runs through a unified [`Injection`] vocabulary:
+//!   crashes, crash-recoveries (the process resumes with its
+//!   pre-crash state), failure-detector edges, and network
+//!   [`Partition`]s that drop crossing messages until healed.
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@
 //! assert_eq!(out[0].2, "pong at 6.000ms");
 //! ```
 
+mod inject;
 mod kernel;
 mod net;
 mod process;
@@ -64,6 +69,7 @@ mod rng;
 mod sim;
 mod time;
 
+pub use inject::{Injection, Partition};
 pub use net::{NetParams, NetStats, NetworkModel, WanParams};
 pub use process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
 pub use real::{run_real, RealConfig, RealReport, RealSchedule};

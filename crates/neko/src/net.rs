@@ -556,6 +556,9 @@ pub struct NetStats {
     pub merges: u64,
     /// Messages dropped because their destination had crashed.
     pub dropped_to_crashed: u64,
+    /// Unicast copies dropped at the sending CPU because a network
+    /// partition separated sender and destination.
+    pub dropped_partitioned: u64,
     /// Total time wire resources were busy, summed over links
     /// (zero under [`NetworkModel::Wan`], which has no contention).
     pub net_busy: Dur,

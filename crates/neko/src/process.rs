@@ -184,6 +184,15 @@ pub trait Process: Sized + 'static {
     fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
         let _ = (ctx, id, tag);
     }
+
+    /// Invoked when the driver *recovers* this previously crashed
+    /// process (crash-recovery model: the state is the pre-crash
+    /// state, as if read back from stable storage). Timers due while
+    /// the process was down did **not** fire, so periodic work must
+    /// be re-armed here.
+    fn on_recover(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        let _ = ctx;
+    }
 }
 
 /// A set of destination processes, stored as a bit mask (hence the

@@ -1,5 +1,6 @@
 //! The deterministic discrete-event simulator.
 
+use crate::inject::Injection;
 use crate::kernel::{Ev, Kernel, SimCtx};
 use crate::net::{NetParams, NetStats, NetworkModel};
 use crate::process::{FdEvent, Pid, Process};
@@ -174,6 +175,38 @@ impl<P: Process> Sim<P> {
         }
     }
 
+    /// Recovers `p` at time `at` (crash-recovery model: the process
+    /// resumes with its pre-crash state, as if from perfect stable
+    /// storage; messages addressed to it while down are lost).
+    pub fn schedule_recover(&mut self, at: Time, p: Pid) {
+        self.schedule_injection(at, Injection::Recover(p));
+    }
+
+    /// Schedules one fault [`Injection`] at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_injection(&mut self, at: Time, inj: Injection) {
+        assert!(at >= self.kernel.now, "cannot schedule into the past");
+        let ev = match inj {
+            Injection::Crash(p) => Ev::Crash { at: p },
+            Injection::Recover(p) => Ev::Recover { at: p },
+            Injection::Fd(p, ev) => Ev::Fd { at: p, ev },
+            Injection::Partition(part) => Ev::Partition { part },
+            Injection::Heal => Ev::Heal,
+        };
+        self.kernel.schedule(at, ev);
+    }
+
+    /// Schedules a whole injection timeline (e.g. a compiled fault
+    /// script), in order.
+    pub fn schedule_plan(&mut self, plan: impl IntoIterator<Item = (Time, Injection)>) {
+        for (at, inj) in plan {
+            self.schedule_injection(at, inj);
+        }
+    }
+
     /// Runs the simulation up to and including time `until`; returns
     /// the number of events processed. The simulated clock ends at
     /// exactly `until`.
@@ -263,6 +296,14 @@ impl<P: Process> Sim<P> {
                 }
             }
             Ev::Crash { at } => kernel.crash(at),
+            Ev::Recover { at } => {
+                if kernel.recover(at) {
+                    let mut ctx = SimCtx { kernel, pid: at };
+                    procs[at.index()].on_recover(&mut ctx);
+                }
+            }
+            Ev::Partition { part } => kernel.set_partition(Some(part)),
+            Ev::Heal => kernel.set_partition(None),
             Ev::CpuDone { at } => kernel.cpu_done(at),
             Ev::NetDone { link } => kernel.net_done(link),
         }
@@ -478,6 +519,57 @@ mod tests {
         );
         s.run_until(Time::from_millis(4));
         assert_eq!(s.suspect_mask(Pid::new(0)), 0);
+    }
+
+    #[test]
+    fn recovered_process_receives_again() {
+        use crate::inject::Injection;
+        let mut s = sim(2);
+        s.schedule_crash(Time::from_millis(1), Pid::new(1));
+        // Arrives at 5 ms while p2 is down: lost.
+        s.schedule_command(
+            Time::from_millis(2),
+            Pid::new(0),
+            (Some(Pid::new(1)), 1, false),
+        );
+        s.schedule_injection(Time::from_millis(10), Injection::Recover(Pid::new(1)));
+        s.schedule_command(
+            Time::from_millis(10),
+            Pid::new(0),
+            (Some(Pid::new(1)), 2, false),
+        );
+        s.run_until(Time::from_secs(1));
+        let out = s.take_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2, (Pid::new(0), 2));
+        assert_eq!(out[0].0, Time::from_millis(13));
+        assert!(!s.is_crashed(Pid::new(1)));
+        assert_eq!(s.net_stats().dropped_to_crashed, 1);
+    }
+
+    #[test]
+    fn partition_drops_crossing_messages_until_heal() {
+        use crate::inject::{Injection, Partition};
+        let mut s = sim(3);
+        let part = Partition::split(&[vec![Pid::new(0)], vec![Pid::new(1), Pid::new(2)]]);
+        s.schedule_injection(Time::ZERO, Injection::Partition(part));
+        // p1's multicast crosses the cut: both copies dropped.
+        s.schedule_command(Time::from_millis(1), Pid::new(0), (None, 7, false));
+        // p2 → p3 stays inside a group: delivered.
+        s.schedule_command(
+            Time::from_millis(1),
+            Pid::new(1),
+            (Some(Pid::new(2)), 8, false),
+        );
+        s.schedule_injection(Time::from_millis(20), Injection::Heal);
+        s.schedule_command(Time::from_millis(20), Pid::new(0), (None, 9, false));
+        s.run_until(Time::from_secs(1));
+        let out = s.take_outputs();
+        let values: Vec<u64> = out.iter().map(|(_, _, (_, v))| *v).collect();
+        assert_eq!(values, vec![8, 9, 9]);
+        assert_eq!(out[0].0, Time::from_millis(4));
+        assert!(out[1..].iter().all(|(t, _, _)| *t == Time::from_millis(23)));
+        assert_eq!(s.net_stats().dropped_partitioned, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! ```
 
 use neko::{Dur, Pid};
-use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
+use study::{run_replicated, Algorithm, FaultScript, RunParams};
 
 fn main() {
     let n = 3;
@@ -27,18 +27,14 @@ fn main() {
         "T_D [ms]", "FD overhead", "GM overhead"
     );
     for td in [0u64, 10, 100] {
-        let spec = ScenarioSpec::CrashTransient {
-            crash: Pid::new(0),
-            broadcaster: Pid::new(1),
-            detection: Dur::from_millis(td),
-        };
+        let script = FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(td));
         let params = RunParams::new(n, throughput)
             .with_warmup(Dur::from_millis(500))
             .with_drain(Dur::from_secs(2))
             .with_replications(15);
         let mut cells = Vec::new();
         for alg in Algorithm::PAPER {
-            let out = run_replicated(alg, &spec, &params, 5);
+            let out = run_replicated(alg, &script, &params, 5);
             let s = out.latency.expect("probe delivered");
             cells.push(format!("{:10.2}", s.mean() - td as f64));
         }
@@ -53,15 +49,11 @@ fn main() {
     println!("\ncrash-steady scenario: n = {n}, T = {throughput}/s, long after crashes");
     println!("(paper Fig. 5)\n{:>26} {:>12}", "configuration", "latency");
     let steady = |alg, crashed: Vec<Pid>| {
-        let spec = if crashed.is_empty() {
-            ScenarioSpec::NormalSteady
-        } else {
-            ScenarioSpec::CrashSteady { crashed }
-        };
+        let script = FaultScript::crash_steady(&crashed);
         let params = RunParams::new(n, throughput)
             .with_measure(Dur::from_secs(3))
             .with_replications(3);
-        run_replicated(alg, &spec, &params, 6)
+        run_replicated(alg, &script, &params, 6)
             .mean_latency_ms()
             .expect("sustainable")
     };

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
+use study::{run_replicated, Algorithm, FaultScript, RunParams};
 
 fn main() {
     println!("Atomic broadcast latency, normal-steady scenario");
@@ -22,7 +22,7 @@ fn main() {
                 .with_replications(3);
             let mut cells = Vec::new();
             for alg in Algorithm::PAPER {
-                let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 1);
+                let out = run_replicated(alg, &FaultScript::normal_steady(), &params, 1);
                 cells.push(match out.latency {
                     Some(s) => format!("{:8.2} ± {:5.2}", s.mean(), s.ci95()),
                     None => "saturated".to_string(),

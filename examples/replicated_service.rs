@@ -54,7 +54,7 @@ fn main() {
     // Replica p3 crashes mid-run; detection 20 ms later.
     let crash_at = Time::from_millis(100);
     sim.schedule_crash(crash_at, Pid::new(2));
-    sim.schedule_fd_plan(fdet::crash_transient_plan(
+    sim.schedule_plan(fdet::crash_transient_plan(
         n,
         Pid::new(2),
         crash_at,

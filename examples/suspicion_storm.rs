@@ -13,7 +13,7 @@
 
 use fdet::QosParams;
 use neko::Dur;
-use study::{run_replicated, Algorithm, RunParams, ScenarioSpec};
+use study::{run_replicated, Algorithm, FaultScript, RunParams};
 
 fn main() {
     let n = 3;
@@ -29,13 +29,13 @@ fn main() {
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(tmr_ms))
             .with_mistake_duration(Dur::ZERO);
-        let spec = ScenarioSpec::SuspicionSteady { qos };
+        let script = FaultScript::suspicion_steady(qos);
         let params = RunParams::new(n, throughput)
             .with_measure(Dur::from_secs(4))
             .with_replications(3);
         let mut cells = Vec::new();
         for alg in Algorithm::PAPER {
-            let out = run_replicated(alg, &spec, &params, 99);
+            let out = run_replicated(alg, &script, &params, 99);
             cells.push(match out.latency {
                 Some(s) => format!("{:10.2}", s.mean()),
                 None => "saturated".to_string(),

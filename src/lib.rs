@@ -15,8 +15,9 @@
 //! * [`consensus`] — Chandra–Toueg ♦S consensus.
 //! * [`membership`] — group membership with view synchrony.
 //! * [`abcast`] — the two atomic broadcast algorithms under study.
-//! * [`study`] — the benchmark methodology: scenarios, workloads,
-//!   latency statistics and the experiment runner.
+//! * [`study`] — the benchmark methodology: composable fault scripts,
+//!   workloads, latency statistics and the parallel experiment
+//!   runner.
 //!
 //! ## Quickstart
 //!
@@ -24,17 +25,33 @@
 //! mean latency:
 //!
 //! ```
-//! use study::{Algorithm, ScenarioSpec, run_replicated, RunParams};
+//! use study::{Algorithm, FaultScript, run_replicated, RunParams};
 //! use neko::Dur;
 //!
 //! let params = RunParams::new(3, 100.0)
 //!     .with_measure(Dur::from_secs(1))
 //!     .with_replications(2);
 //! for alg in Algorithm::PAPER {
-//!     let out = run_replicated(alg, &ScenarioSpec::NormalSteady, &params, 0xC0FFEE);
+//!     let out = run_replicated(alg, &FaultScript::normal_steady(), &params, 0xC0FFEE);
 //!     let lat = out.latency.expect("not saturated");
 //!     println!("{alg:?}: {:.2} ms mean latency", lat.mean());
 //! }
+//! ```
+//!
+//! Scenarios beyond the paper are the same grammar — e.g. a crash
+//! that heals:
+//!
+//! ```
+//! use neko::{Dur, Pid};
+//! use study::FaultScript;
+//!
+//! let script = FaultScript::crash_recover(
+//!     Pid::new(2),                // who
+//!     Dur::from_millis(200),      // crash, this long after warm-up
+//!     Dur::from_millis(500),      // downtime
+//!     Dur::from_millis(30),       // detection time T_D
+//! );
+//! # let _ = script;
 //! ```
 //!
 //! See `examples/` for richer scenarios and `crates/bench` for the

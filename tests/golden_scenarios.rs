@@ -1,0 +1,187 @@
+//! Golden-equivalence tests for the fault-script refactor.
+//!
+//! The latency samples below were pinned from the pre-refactor
+//! `ScenarioSpec` enum path (the closed four-scenario runner), seed
+//! `0x601D`, before `FaultScript` existed. The script path must
+//! reproduce them **bit-identically**: the four paper scenarios are
+//! the contract the composable injection layer compiles down to.
+
+use neko::{Dur, Pid};
+use study::{run_replicated, Algorithm, FaultScript, RunParams};
+
+const SEED: u64 = 0x601D;
+
+fn quick(n: usize, t: f64) -> RunParams {
+    RunParams::new(n, t)
+        .with_warmup(Dur::from_millis(200))
+        .with_measure(Dur::from_secs(2))
+        .with_drain(Dur::from_secs(1))
+        .with_replications(3)
+}
+
+/// Golden per-replication samples: `(mean latency bits, measured,
+/// undelivered)`.
+fn check(script: &FaultScript, params: &RunParams, alg: Algorithm, golden: &[(u64, u64, u64)]) {
+    let out = run_replicated(alg, script, params, SEED);
+    assert_eq!(out.runs.len(), golden.len(), "{alg:?}: replication count");
+    for (i, (run, (bits, measured, undelivered))) in out.runs.iter().zip(golden).enumerate() {
+        assert_eq!(
+            run.mean_latency_ms.map(f64::to_bits).unwrap_or(0),
+            *bits,
+            "{alg:?} rep {i}: mean latency drifted (got {:?})",
+            run.mean_latency_ms,
+        );
+        assert_eq!(run.measured, *measured, "{alg:?} rep {i}: measured");
+        assert_eq!(
+            run.undelivered, *undelivered,
+            "{alg:?} rep {i}: undelivered"
+        );
+    }
+}
+
+#[test]
+fn normal_steady_matches_enum_path() {
+    let script = FaultScript::normal_steady();
+    let params = quick(3, 100.0);
+    let golden = [
+        (0x4029a224e769fc8b, 205, 0),
+        (0x4029cfda244ea8be, 206, 0),
+        (0x402a3fbe76c8b436, 212, 0),
+    ];
+    check(&script, &params, Algorithm::Fd, &golden);
+    check(&script, &params, Algorithm::Gm, &golden);
+}
+
+#[test]
+fn crash_steady_matches_enum_path() {
+    let script = FaultScript::crash_steady(&[Pid::new(2)]);
+    let params = quick(3, 100.0);
+    let golden = [
+        (0x40249a909ecc7c21, 130, 0),
+        (0x40252b4bd630c1ed, 135, 0),
+        (0x4024d7d37695037d, 142, 0),
+    ];
+    check(&script, &params, Algorithm::Fd, &golden);
+    check(&script, &params, Algorithm::Gm, &golden);
+}
+
+#[test]
+fn crash_steady_n7_matches_enum_path() {
+    let script = FaultScript::crash_steady(&[Pid::new(6), Pid::new(5)]);
+    let params = quick(7, 300.0);
+    check(
+        &script,
+        &params,
+        Algorithm::Fd,
+        &[
+            (0x4034c51c5e444ca3, 418, 0),
+            (0x403542f001f1c915, 455, 0),
+            (0x40351d05071bdf66, 433, 0),
+        ],
+    );
+    check(
+        &script,
+        &params,
+        Algorithm::Gm,
+        &[
+            (0x403370d88508249c, 418, 0),
+            (0x40336687d0efbf19, 455, 0),
+            (0x4033632143beac0e, 433, 0),
+        ],
+    );
+}
+
+#[test]
+fn suspicion_steady_matches_enum_path() {
+    let qos = fdet::QosParams::new()
+        .with_mistake_recurrence(Dur::from_millis(500))
+        .with_mistake_duration(Dur::from_millis(10));
+    let script = FaultScript::suspicion_steady(qos);
+    let params = quick(3, 100.0);
+    check(
+        &script,
+        &params,
+        Algorithm::Fd,
+        &[
+            (0x402c52b6d768de19, 205, 0),
+            (0x402b324d81804ee9, 206, 0),
+            (0x402c2c24038e15ba, 212, 0),
+        ],
+    );
+    check(
+        &script,
+        &params,
+        Algorithm::Gm,
+        &[
+            (0x403dc40cc78e9f6f, 205, 5),
+            (0x40578165c5e75727, 206, 10),
+            (0x406f1c022c971111, 212, 1),
+        ],
+    );
+}
+
+#[test]
+fn crash_transient_matches_enum_path() {
+    let script = FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(50));
+    let params = quick(3, 20.0)
+        .with_drain(Dur::from_secs(2))
+        .with_replications(5);
+    check(
+        &script,
+        &params,
+        Algorithm::Fd,
+        &[
+            (0x4052400000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+        ],
+    );
+    check(
+        &script,
+        &params,
+        Algorithm::Gm,
+        &[
+            (0x404f800000000000, 1, 0),
+            (0x404f800000000000, 1, 0),
+            (0x404f800000000000, 1, 0),
+            (0x404f800000000000, 1, 0),
+            (0x404f800000000000, 1, 0),
+        ],
+    );
+}
+
+#[test]
+fn crash_transient_zero_detection_matches_enum_path() {
+    // T_D = 0 exercises the trickiest schedule-order tie: crash,
+    // probe and every suspicion edge land on the same instant.
+    let script = FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::ZERO);
+    let params = quick(3, 20.0)
+        .with_drain(Dur::from_secs(2))
+        .with_replications(5);
+    check(
+        &script,
+        &params,
+        Algorithm::Fd,
+        &[
+            (0x403768b439581062, 1, 0),
+            (0x402a000000000000, 1, 0),
+            (0x402e95810624dd2f, 1, 0),
+            (0x4032000000000000, 1, 0),
+            (0x402c000000000000, 1, 0),
+        ],
+    );
+    check(
+        &script,
+        &params,
+        Algorithm::Gm,
+        &[
+            (0x402ed16872b020c5, 1, 0),
+            (0x402e000000000000, 1, 0),
+            (0x402e95810624dd2f, 1, 0),
+            (0x4030000000000000, 1, 0),
+            (0x402e000000000000, 1, 0),
+        ],
+    );
+}

@@ -79,7 +79,7 @@ fn total_order_under_wrong_suspicions_fd() {
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(100))
             .with_mistake_duration(Dur::from_millis(10));
-        sim.schedule_fd_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
+        sim.schedule_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
         let logs = run_scenario(sim, n, 50.0, horizon, seed);
         assert_uniform_total_order(&logs, "FD under suspicions");
         assert!(!logs[0].is_empty(), "seed {seed}: something was delivered");
@@ -100,7 +100,7 @@ fn total_order_under_wrong_suspicions_gm() {
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(700))
             .with_mistake_duration(Dur::ZERO);
-        sim.schedule_fd_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
+        sim.schedule_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
         let logs = run_scenario(sim, n, 50.0, horizon, seed);
         assert_uniform_total_order(&logs, "GM under suspicions");
         assert!(!logs[0].is_empty(), "seed {seed}: something was delivered");
@@ -124,12 +124,12 @@ fn total_order_across_a_crash_both_algorithms() {
     for sim_logs in [
         {
             fd.schedule_crash(crash_at, Pid::new(0));
-            fd.schedule_fd_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
+            fd.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
             run_scenario(fd, n, 100.0, horizon, 11)
         },
         {
             gm.schedule_crash(crash_at, Pid::new(0));
-            gm.schedule_fd_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
+            gm.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
             run_scenario(gm, n, 100.0, horizon, 11)
         },
     ] {
@@ -154,7 +154,7 @@ fn non_uniform_gm_preserves_total_order_among_survivors() {
     let qos = QosParams::new()
         .with_mistake_recurrence(Dur::from_secs(1))
         .with_mistake_duration(Dur::ZERO);
-    sim.schedule_fd_plan(fdet::suspicion_steady_plan(n, horizon, qos, 4));
+    sim.schedule_plan(fdet::suspicion_steady_plan(n, horizon, qos, 4));
     let logs = run_scenario(sim, n, 50.0, horizon, 4);
     assert_uniform_total_order(&logs, "non-uniform GM");
 }
@@ -171,7 +171,7 @@ fn same_seed_reproduces_the_exact_run() {
         let qos = QosParams::new()
             .with_mistake_recurrence(Dur::from_millis(200))
             .with_mistake_duration(Dur::from_millis(5));
-        sim.schedule_fd_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
+        sim.schedule_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
         let senders: Vec<Pid> = Pid::all(n).collect();
         for (t, p, v) in poisson_arrivals(n, 200.0, horizon, &senders, seed) {
             sim.schedule_command(t, p, v);

@@ -1,12 +1,17 @@
-//! Property-based end-to-end tests: random group sizes, loads, crash
-//! schedules and failure-detector QoS — uniform total order must hold
-//! for every algorithm, always.
+//! Property-based end-to-end tests: random group sizes, loads, fault
+//! scripts (crash schedules, crash-recovery churn, healing
+//! partitions) and failure-detector QoS — uniform total order must
+//! hold for every algorithm, always.
+//!
+//! Scenarios are expressed as [`FaultScript`]s and compiled straight
+//! onto the simulator, exercising the same injection layer the
+//! experiment runner uses.
 
 use abcast::{AbcastEvent, FdNode, GmNode, MsgId};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, Sim, SimBuilder, Time};
 use proptest::prelude::*;
-use study::poisson_arrivals;
+use study::{poisson_arrivals, FaultScript, ScriptAction, ScriptTime};
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -15,6 +20,8 @@ struct Scenario {
     tmr_ms: u64,
     tm_ms: u64,
     crashes: usize,
+    /// Crashed processes come back 400 ms later (crash-recovery).
+    recover: bool,
     seed: u64,
 }
 
@@ -25,46 +32,71 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         50u64..5_000,
         0u64..50,
         0usize..=2,
+        any::<bool>(),
         any::<u64>(),
     )
-        .prop_map(|(n, throughput, tmr_ms, tm_ms, crashes, seed)| Scenario {
-            n,
-            throughput,
-            tmr_ms,
-            tm_ms,
-            crashes: crashes.min((n - 1) / 2),
-            seed,
-        })
+        .prop_map(
+            |(n, throughput, tmr_ms, tm_ms, crashes, recover, seed)| Scenario {
+                n,
+                throughput,
+                tmr_ms,
+                tm_ms,
+                crashes: crashes.min((n - 1) / 2),
+                recover,
+                seed,
+            },
+        )
 }
 
-fn check<P>(mut sim: Sim<P>, sc: &Scenario, label: &str)
-where
-    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
-{
-    let horizon = Time::from_millis(1_500);
+const HORIZON: Time = Time::from_millis(1_500);
+
+/// The random chaos as one composable script: a run-long suspicion
+/// burst plus real crashes partway through — which either stick (the
+/// paper's model) or heal into crash-recovery churn (beyond it).
+fn chaos_script(sc: &Scenario) -> (FaultScript, Vec<Pid>) {
     let qos = QosParams::new()
         .with_mistake_recurrence(Dur::from_millis(sc.tmr_ms))
         .with_mistake_duration(Dur::from_millis(sc.tm_ms));
-    sim.schedule_fd_plan(fdet::suspicion_steady_plan(sc.n, horizon, qos, sc.seed));
-    // Real crashes partway through, detected a constant T_D later.
+    let mut script = FaultScript::default().suspicion_burst(
+        ScriptTime::At(Time::ZERO),
+        ScriptTime::At(HORIZON),
+        qos,
+        None,
+    );
     let mut crashed = Vec::new();
     for i in 0..sc.crashes {
         let victim = Pid::new(sc.n - 1 - i);
-        let at = Time::from_millis(400 + 100 * i as u64);
-        sim.schedule_crash(at, victim);
-        sim.schedule_fd_plan(fdet::crash_transient_plan(
-            sc.n,
-            victim,
-            at,
-            Dur::from_millis(30),
-        ));
+        let at = ScriptTime::At(Time::from_millis(400 + 100 * i as u64));
+        let td = Dur::from_millis(30);
+        script = if sc.recover {
+            script.churn(at, victim, Dur::from_millis(400), td)
+        } else {
+            script.crash(at, victim, td)
+        };
         crashed.push(victim);
     }
+    (script, crashed)
+}
+
+/// Compiles and schedules `script`, runs the workload, and checks
+/// uniform total order (+ liveness of the never-crashed).
+fn check<P>(mut sim: Sim<P>, sc: &Scenario, script: &FaultScript, crashed: &[Pid], label: &str)
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    let end = HORIZON + Dur::from_secs(4);
+    let compiled = script.compile(sc.n, Dur::ZERO, end, sc.seed);
+    for (t, act) in compiled.entries() {
+        match act {
+            ScriptAction::Inject(inj) => sim.schedule_injection(*t, inj.clone()),
+            ScriptAction::Probe(_) => unreachable!("chaos scripts carry no probe"),
+        }
+    }
     let senders: Vec<Pid> = Pid::all(sc.n).collect();
-    for (t, p, v) in poisson_arrivals(sc.n, sc.throughput, horizon, &senders, sc.seed) {
+    for (t, p, v) in poisson_arrivals(sc.n, sc.throughput, HORIZON, &senders, sc.seed) {
         sim.schedule_command(t, p, v);
     }
-    sim.run_until(horizon + Dur::from_secs(4));
+    sim.run_until(end);
 
     let mut logs: Vec<Vec<(MsgId, u64)>> = vec![Vec::new(); sc.n];
     for (_, p, ev) in sim.take_outputs() {
@@ -84,7 +116,7 @@ where
             i + 1
         );
     }
-    // Liveness: the correct processes delivered something.
+    // Liveness: processes that never crashed delivered something.
     for (i, log) in logs.iter().enumerate() {
         if !crashed.contains(&Pid::new(i)) {
             assert!(
@@ -96,22 +128,66 @@ where
     }
 }
 
+fn fd_sim(n: usize, seed: u64) -> Sim<FdNode<u64>> {
+    let s = SuspectSet::new();
+    SimBuilder::new(n)
+        .seed(seed)
+        .build_with(|p| FdNode::<u64>::new(p, n, &s))
+}
+
+fn gm_sim(n: usize, seed: u64) -> Sim<GmNode<u64>> {
+    let s = SuspectSet::new();
+    SimBuilder::new(n)
+        .seed(seed)
+        .build_with(|p| GmNode::<u64>::new(p, n, &s))
+}
+
+/// A two-group partition that heals mid-run; the majority keeps p1.
+fn partition_script(n: usize) -> FaultScript {
+    let cut = n / 2; // minority size ≤ majority size
+    let minority: Vec<Pid> = (0..cut).map(|i| Pid::new(n - 1 - i)).collect();
+    let majority: Vec<Pid> = Pid::all(n).filter(|p| !minority.contains(p)).collect();
+    FaultScript::default().partition(
+        ScriptTime::At(Time::from_millis(400)),
+        vec![majority, minority],
+        Some(ScriptTime::At(Time::from_millis(900))),
+        Dur::from_millis(30),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn fd_algorithm_is_uniform_under_random_chaos(sc in scenario()) {
-        let s = SuspectSet::new();
-        let n = sc.n;
-        let sim = SimBuilder::new(n).seed(sc.seed).build_with(|p| FdNode::<u64>::new(p, n, &s));
-        check(sim, &sc, "FD");
+        let (script, crashed) = chaos_script(&sc);
+        let crashed_for_liveness: Vec<Pid> =
+            if sc.recover { Vec::new() } else { crashed.clone() };
+        // Recovered processes count as correct for liveness: by the
+        // end of the drain they must have caught up and delivered.
+        check(fd_sim(sc.n, sc.seed), &sc, &script, &crashed_for_liveness, "FD");
     }
 
     #[test]
     fn gm_algorithm_is_uniform_under_random_chaos(sc in scenario()) {
-        let s = SuspectSet::new();
-        let n = sc.n;
-        let sim = SimBuilder::new(n).seed(sc.seed).build_with(|p| GmNode::<u64>::new(p, n, &s));
-        check(sim, &sc, "GM");
+        let (script, crashed) = chaos_script(&sc);
+        // A recovered process rejoins the group but may finish the
+        // run still catching up, so only never-crashed processes are
+        // held to the liveness bar.
+        check(gm_sim(sc.n, sc.seed), &sc, &script, &crashed, "GM");
+    }
+
+    #[test]
+    fn fd_algorithm_is_uniform_across_healing_partition(sc in scenario()) {
+        let script = partition_script(sc.n);
+        let minority: Vec<Pid> = (0..sc.n / 2).map(|i| Pid::new(sc.n - 1 - i)).collect();
+        check(fd_sim(sc.n, sc.seed), &sc, &script, &minority, "FD/partition");
+    }
+
+    #[test]
+    fn gm_algorithm_is_uniform_across_healing_partition(sc in scenario()) {
+        let script = partition_script(sc.n);
+        let minority: Vec<Pid> = (0..sc.n / 2).map(|i| Pid::new(sc.n - 1 - i)).collect();
+        check(gm_sim(sc.n, sc.seed), &sc, &script, &minority, "GM/partition");
     }
 }
