@@ -1,5 +1,8 @@
 //! [`neko::Process`] shells for the two algorithms, so the same state
-//! machines run on the simulator and on the real-time runtime.
+//! machines run on the simulator and on the real-time runtime
+//! ([`neko::RealRuntime`], where `on_fd` edges come from a live
+//! heartbeat detector and timers ride the OS clock — see the
+//! cross-backend conformance tests in `tests/conformance.rs`).
 
 use neko::{Ctx, Dur, FdEvent, Message, Pid, Process, TimerId};
 

@@ -13,7 +13,7 @@
 //! * **uniformity** — uniform vs non-uniform GM (Section 8): the
 //!   non-uniform variant delivers in 2 steps instead of 4.
 
-use figures::{header, row, steady_params};
+use figures::{steady_params, Report};
 use neko::{NetParams, Pid};
 use study::{run_replicated, Algorithm, FaultScript};
 
@@ -25,7 +25,7 @@ fn main() {
 }
 
 fn renumbering() {
-    header("abl-renumber", "throughput_per_s");
+    let mut report = Report::new("abl-renumber", "throughput_per_s");
     // p1 (the default round-1 coordinator) crashed long ago.
     let script = FaultScript::crash_steady(&[Pid::new(0)]);
     for t in [10.0, 100.0, 300.0, 500.0] {
@@ -34,13 +34,14 @@ fn renumbering() {
             ("no-renumbering", Algorithm::FdNoRenumber),
         ] {
             let out = run_replicated(alg, &script, &steady_params(3, t), 0xAB10);
-            row("abl-renumber", series, t, &out);
+            report.row(series, t, &out);
         }
     }
+    report.finish();
 }
 
 fn coalescing() {
-    header("abl-coalesce", "throughput_per_s");
+    let mut report = Report::new("abl-coalesce", "throughput_per_s");
     for t in [100.0, 300.0, 500.0, 700.0] {
         for (series, on) in [("coalescing", true), ("no-coalescing", false)] {
             let params = steady_params(3, t).with_net(NetParams::default().with_coalescing(on));
@@ -50,24 +51,26 @@ fn coalescing() {
                 &params,
                 0xAB20,
             );
-            row("abl-coalesce", series, t, &out);
+            report.row(series, t, &out);
         }
     }
+    report.finish();
 }
 
 fn lambda() {
-    header("abl-lambda", "lambda");
+    let mut report = Report::new("abl-lambda", "lambda");
     for lam in [0.1, 0.5, 1.0, 2.0, 4.0] {
         for alg in Algorithm::PAPER {
             let params = steady_params(3, 100.0).with_net(NetParams::default().with_lambda(lam));
             let out = run_replicated(alg, &FaultScript::normal_steady(), &params, 0xAB30);
-            row("abl-lambda", &format!("{alg:?}"), lam, &out);
+            report.row(&format!("{alg:?}"), lam, &out);
         }
     }
+    report.finish();
 }
 
 fn uniformity() {
-    header("abl-uniformity", "throughput_per_s");
+    let mut report = Report::new("abl-uniformity", "throughput_per_s");
     for n in [3, 7] {
         for t in [10.0, 100.0, 300.0] {
             for (series, alg) in [
@@ -80,8 +83,9 @@ fn uniformity() {
                     &steady_params(n, t),
                     0xAB40,
                 );
-                row("abl-uniformity", &format!("n={n} {series}"), t, &out);
+                report.row(&format!("n={n} {series}"), t, &out);
             }
         }
     }
+    report.finish();
 }

@@ -9,11 +9,11 @@
 //! CPU cores via [`study::run_sweep`]; results are bit-identical to a
 //! sequential run.
 
-use figures::{header, row, steady_params, sweep, thin};
+use figures::{steady_params, sweep, thin, Report};
 use study::{paper, FaultScript, SweepPoint};
 
 fn main() {
-    header("fig4", "throughput_per_s");
+    let mut report = Report::new("fig4", "throughput_per_s");
     let mut entries = Vec::new();
     for (series, n, alg) in paper::fig4_series() {
         for t in thin(paper::throughput_sweep()) {
@@ -27,6 +27,7 @@ fn main() {
         }
     }
     for (series, t, out) in sweep(entries) {
-        row("fig4", &series, t, &out);
+        report.row(&series, t, &out);
     }
+    report.finish();
 }

@@ -8,11 +8,11 @@
 //! algorithm (its sequencer waits for a majority of the shrunken view,
 //! the FD coordinator still needs a majority of the original `n`).
 
-use figures::{header, row, steady_params, sweep, thin};
+use figures::{steady_params, sweep, thin, Report};
 use study::{paper, FaultScript, SweepPoint};
 
 fn main() {
-    header("fig5", "throughput_per_s");
+    let mut report = Report::new("fig5", "throughput_per_s");
     let mut entries = Vec::new();
     for (series, n, alg, crashed) in paper::fig5_series() {
         let script = FaultScript::crash_steady(&crashed);
@@ -22,6 +22,7 @@ fn main() {
         }
     }
     for (series, t, out) in sweep(entries) {
-        row("fig5", &series, t, &out);
+        report.row(&series, t, &out);
     }
+    report.finish();
 }

@@ -7,11 +7,11 @@
 //! `T_MR ≳ 50 ms` while the FD algorithm still works at 10 ms; the two
 //! algorithms converge as `T_MR → ∞` (toward the Fig. 4 baseline).
 
-use figures::{header, row, steady_params, sweep, thin};
+use figures::{steady_params, sweep, thin, Report};
 use study::{paper, SweepPoint};
 
 fn main() {
-    header("fig6", "tmr_ms");
+    let mut report = Report::new("fig6", "tmr_ms");
     let mut entries = Vec::new();
     for (n, t) in paper::SUSPICION_PANELS {
         for alg in study::Algorithm::PAPER {
@@ -28,6 +28,7 @@ fn main() {
         }
     }
     for (series, tmr, out) in sweep(entries) {
-        row("fig6", &series, tmr, &out);
+        report.row(&series, tmr, &out);
     }
+    report.finish();
 }

@@ -7,11 +7,11 @@
 //! and keeps being re-excluded until the mistake ends), while the FD
 //! algorithm stays nearly flat.
 
-use figures::{header, row, steady_params, sweep, thin};
+use figures::{steady_params, sweep, thin, Report};
 use study::{paper, SweepPoint};
 
 fn main() {
-    header("fig7", "tm_ms");
+    let mut report = Report::new("fig7", "tm_ms");
     let mut entries = Vec::new();
     for (n, t, tmr) in paper::FIG7_PANELS {
         for alg in study::Algorithm::PAPER {
@@ -28,6 +28,7 @@ fn main() {
         }
     }
     for (series, tm, out) in sweep(entries) {
-        row("fig7", &series, tm, &out);
+        report.row(&series, tm, &out);
     }
+    report.finish();
 }

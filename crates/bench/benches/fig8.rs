@@ -8,11 +8,13 @@
 //! overhead is *below* the GM algorithm's (one extra consensus round
 //! vs a full view change); the overhead depends only weakly on `T_D`.
 
-use figures::{sweep, thin, transient_params};
+use figures::{sweep, thin, transient_params, Report};
 use study::{paper, Algorithm, SweepPoint};
 
 fn main() {
-    println!("# fig8");
+    // fig8 plots the *overhead* (latency − T_D), so it prints its own
+    // CSV and records the same custom column into the JSON report.
+    let mut report = Report::new_custom("fig8", "throughput_per_s");
     println!("figure,series,throughput_per_s,overhead_ms,ci95_ms");
     let mut entries = Vec::new();
     for n in paper::GROUP_SIZES {
@@ -32,12 +34,18 @@ fn main() {
         }
     }
     for (series, (t, td), out) in sweep(entries) {
-        match &out.latency {
+        let value = match &out.latency {
             Some(s) => {
                 let overhead = s.mean() - td as f64;
                 println!("fig8,{series},{t},{overhead:.3},{:.3}", s.ci95());
+                Some((overhead, s.ci95()))
             }
-            None => println!("fig8,{series},{t},saturated,"),
-        }
+            None => {
+                println!("fig8,{series},{t},saturated,");
+                None
+            }
+        };
+        report.custom_row(&series, t, "overhead_ms", value);
     }
+    report.finish();
 }

@@ -18,7 +18,7 @@
 //! figures, so the rows are directly comparable to the Fig. 4
 //! baseline.
 
-use figures::{header, row, steady_params, sweep};
+use figures::{steady_params, sweep, Report};
 use neko::{Dur, Pid};
 use study::{Algorithm, FaultScript, RunParams, ScriptTime, SweepPoint};
 
@@ -30,7 +30,7 @@ fn params(n: usize, t: f64) -> RunParams {
 }
 
 fn main() {
-    header("scenarios", "x");
+    let mut report = Report::new("scenarios", "x");
     let mut entries = Vec::new();
 
     // Crash-recover: latency vs downtime (ms), n = 3, T = 100/s.
@@ -80,6 +80,7 @@ fn main() {
     }
 
     for (series, x, out) in sweep(entries) {
-        row("scenarios", &series, x, &out);
+        report.row(&series, x, &out);
     }
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! contention at all but per-pair latencies of tens of milliseconds,
 //! so latency is round-trip-dominated and nearly flat in throughput.
 
-use figures::{header, row, steady_params, sweep, thin};
+use figures::{steady_params, sweep, thin, Report};
 use neko::{NetworkModel, WanParams};
 use study::{paper, FaultScript, SweepPoint};
 
@@ -22,7 +22,7 @@ fn models() -> Vec<(&'static str, NetworkModel)> {
 }
 
 fn main() {
-    header("topology", "throughput_per_s");
+    let mut report = Report::new("topology", "throughput_per_s");
     let mut entries = Vec::new();
     for (model_name, model) in models() {
         for (series, n, alg) in paper::fig4_series() {
@@ -38,6 +38,7 @@ fn main() {
         }
     }
     for (series, t, out) in sweep(entries) {
-        row("topology", &series, t, &out);
+        report.row(&series, t, &out);
     }
+    report.finish();
 }

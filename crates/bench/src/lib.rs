@@ -7,13 +7,19 @@
 //! Each figure bench prints the figure's data series as CSV rows
 //! (`series, x, latency_ms, ci95_ms` — `saturated` when the
 //! configuration cannot sustain the load, which is how the paper's
-//! curves leave the chart). Absolute values depend on the simulated
-//! network model; the *shapes* reproduce the paper (see
-//! `EXPERIMENTS.md`).
+//! curves leave the chart) **and** merges the same rows into a
+//! machine-readable `BENCH_results.json` (see [`Report`]), so the
+//! performance trajectory is tracked run-over-run. Absolute values
+//! depend on the simulated network model; the *shapes* reproduce the
+//! paper (see `EXPERIMENTS.md`).
 //!
 //! Set `ATOMBENCH_QUICK=1` for a fast smoke pass (shorter measurement
 //! windows, fewer replications, sparser sweeps), and
 //! `ATOMBENCH_FULL=1` for longer, tighter-CI runs.
+
+mod results;
+
+pub use results::{results_path, Json, Report};
 
 use neko::Dur;
 use study::{run_sweep, RunOutput, RunParams, SweepPoint};
@@ -95,36 +101,4 @@ pub fn sweep<X>(
         .into_iter()
         .zip(run_sweep(&points))
         .map(|((series, x, _), out)| (series, x, out))
-}
-
-/// Prints the CSV header for a figure. The percentile columns are
-/// exact (nearest-rank over every measured message pooled across the
-/// sustaining replications).
-pub fn header(figure: &str, x_name: &str) {
-    println!("# {figure}");
-    println!("figure,series,{x_name},latency_ms,ci95_ms,p50_ms,p95_ms,p99_ms");
-}
-
-/// Prints one CSV data row: mean latency with its 95% CI over
-/// replication means, plus p50/p95/p99 of the per-message latencies.
-pub fn row(figure: &str, series: &str, x: impl std::fmt::Display, out: &RunOutput) {
-    match &out.latency {
-        Some(s) => {
-            let pct = |p: f64| {
-                out.messages
-                    .as_ref()
-                    .and_then(|m| m.percentile(p))
-                    .map_or(String::new(), |v| format!("{v:.3}"))
-            };
-            println!(
-                "{figure},{series},{x},{:.3},{:.3},{},{},{}",
-                s.mean(),
-                s.ci95(),
-                pct(50.0),
-                pct(95.0),
-                pct(99.0),
-            );
-        }
-        None => println!("{figure},{series},{x},saturated,,,,"),
-    }
 }

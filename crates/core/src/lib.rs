@@ -11,8 +11,11 @@
 //!   constructors, and richer schedules (crash-recover, healing
 //!   partitions, churn) use the same grammar;
 //! * [`Algorithm`] — which algorithm/variant to run;
+//! * [`Backend`] — where to run it: the deterministic [`neko`]
+//!   simulator ([`Backend::Sim`]) or the thread-based real-time
+//!   runtime ([`Backend::Real`]), both behind [`neko::Runtime`];
 //! * [`run_once`] / [`run_replicated`] / [`run_sweep`] — execute
-//!   scenarios on the [`neko`] simulator and measure latency
+//!   scenarios on the selected backend and measure latency
 //!   (`L = min_i t_deliver_i − t_broadcast`) with 95% confidence
 //!   intervals over replications, fanning replications and sweep
 //!   points across all CPU cores with deterministic results;
@@ -39,9 +42,9 @@ mod stats;
 mod workload;
 
 pub use runner::{
-    run_once, run_replicated, run_sweep, run_sweep_with_workers, Algorithm, RunOutput, RunParams,
-    SingleRun, SweepPoint,
+    run_once, run_replicated, run_sweep, run_sweep_with_workers, Algorithm, Backend, RunOutput,
+    RunParams, SingleRun, SweepPoint, DEFAULT_LATENCY_SAMPLE_CAP,
 };
 pub use script::{CompiledScript, FaultEvent, FaultScript, ScriptAction, ScriptTime};
-pub use stats::{Running, Summary};
+pub use stats::{Reservoir, Running, Summary};
 pub use workload::{poisson_arrivals, Arrival};

@@ -1,28 +1,34 @@
-//! The experiment runner: executes one benchmark scenario on the
-//! simulator and measures atomic-broadcast latency the way the paper
-//! defines it (Section 5.1): `L = min_i(t_deliver_i) − t_broadcast`,
-//! averaged over many messages and several independent replications.
+//! The experiment runner: executes one benchmark scenario and
+//! measures atomic-broadcast latency the way the paper defines it
+//! (Section 5.1): `L = min_i(t_deliver_i) − t_broadcast`, averaged
+//! over many messages and several independent replications.
 //!
 //! A scenario is a [`FaultScript`]; the runner compiles it against
 //! the run dimensions, schedules the resulting injection stream, and
 //! measures either the steady flow or — when the script carries a
-//! probe — the probe broadcast alone. Replications and whole
-//! parameter sweeps fan out across OS threads ([`run_sweep`]) with
-//! per-replication derived seeds and a deterministic merge order, so
-//! results never depend on scheduling.
+//! probe — the probe broadcast alone. The whole pipeline is generic
+//! over the [`Backend`]: [`Backend::Sim`] runs on the deterministic
+//! simulator, [`Backend::Real`] runs the same schedule on OS threads
+//! with a heartbeat failure detector ([`neko::RealRuntime`]), the
+//! compiled `(Time, Injection)` stream replayed on the wall clock.
+//! Replications and whole parameter sweeps fan out across OS threads
+//! ([`run_sweep`]) with per-replication derived seeds and a
+//! deterministic merge order, so simulated results never depend on
+//! scheduling.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
 use neko::{
-    derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, Sim, SimBuilder,
-    Time,
+    derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, RealConfig,
+    RealRuntime, Runtime, Sim, SimBuilder, Time,
 };
 
 use crate::script::{CompiledScript, FaultScript, ScriptAction};
-use crate::stats::{Running, Summary};
+use crate::stats::{Reservoir, Running, Summary};
 use crate::workload::poisson_arrivals;
 
 /// Which algorithm (and variant) to run.
@@ -47,6 +53,27 @@ impl Algorithm {
     pub const PAPER: [Algorithm; 2] = [Algorithm::Fd, Algorithm::Gm];
 }
 
+/// Which [`neko::Runtime`] backend executes a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Backend {
+    /// The deterministic discrete-event simulator — instantaneous,
+    /// bit-reproducible, contention-modelled. The default.
+    #[default]
+    Sim,
+    /// The thread-based real-time runtime: the same schedule replayed
+    /// on the wall clock, with crashes pausing process threads, a
+    /// router thread gating partitions and a heartbeat failure
+    /// detector underneath the scripted FD edges. A run *blocks* for
+    /// its full wall-clock duration (warm-up + measurement + drain),
+    /// and latencies include genuine OS scheduling noise.
+    Real,
+}
+
+/// Default bound on retained per-message latency samples per run (see
+/// [`RunParams::with_latency_sample_cap`]).
+pub const DEFAULT_LATENCY_SAMPLE_CAP: usize = 65_536;
+
 /// Run dimensions shared by all scenarios.
 #[derive(Clone, Debug)]
 pub struct RunParams {
@@ -58,6 +85,10 @@ pub struct RunParams {
     replications: usize,
     net: NetParams,
     saturation_frac: f64,
+    backend: Backend,
+    hb_period: Dur,
+    hb_timeout: Dur,
+    latency_cap: usize,
 }
 
 impl RunParams {
@@ -75,6 +106,10 @@ impl RunParams {
             replications: 5,
             net: NetParams::default(),
             saturation_frac: 0.05,
+            backend: Backend::Sim,
+            hb_period: Dur::from_millis(5),
+            hb_timeout: Dur::from_millis(60),
+            latency_cap: DEFAULT_LATENCY_SAMPLE_CAP,
         }
     }
 
@@ -142,6 +177,54 @@ impl RunParams {
         self.saturation_frac = f;
         self
     }
+
+    /// Selects the execution backend (default: [`Backend::Sim`]).
+    /// With [`Backend::Real`] the same compiled fault script and
+    /// workload are replayed on OS threads and the wall clock.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Configures the real backend's heartbeat failure detector
+    /// (default: 5 ms period, 60 ms suspicion timeout). Ignored by
+    /// [`Backend::Sim`], whose detector is abstract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout <= period`.
+    pub fn with_real_heartbeat(mut self, period: Dur, timeout: Dur) -> Self {
+        assert!(timeout > period, "heartbeat timeout must exceed the period");
+        self.hb_period = period;
+        self.hb_timeout = timeout;
+        self
+    }
+
+    /// Bounds the per-message latency samples one run retains
+    /// (default: [`DEFAULT_LATENCY_SAMPLE_CAP`]). Up to the cap,
+    /// p50/p95/p99 over [`RunOutput::messages`] are exact; beyond it
+    /// a deterministic reservoir ([`crate::Reservoir`]) keeps a
+    /// uniform subsample, so the percentiles become unbiased
+    /// estimates and memory stays bounded however long the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_latency_sample_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "a reservoir must hold at least one sample");
+        self.latency_cap = cap;
+        self
+    }
+
+    /// The configured latency-sample bound.
+    pub fn latency_sample_cap(&self) -> usize {
+        self.latency_cap
+    }
 }
 
 /// The outcome of one simulation run.
@@ -155,8 +238,10 @@ pub struct SingleRun {
     pub measured: u64,
     /// Measured messages that were never delivered anywhere.
     pub undelivered: u64,
-    /// Latency (ms) of every measured, delivered message, in payload
-    /// order — retained for exact percentiles.
+    /// Latency (ms) of measured, delivered messages — in payload
+    /// order, and exact, while the run stays below
+    /// [`RunParams::with_latency_sample_cap`]; a deterministic uniform
+    /// reservoir subsample beyond it.
     pub latencies: Vec<f64>,
     /// Network-model counters for the whole run.
     pub net: NetStats,
@@ -168,8 +253,10 @@ pub struct RunOutput {
     /// Mean-of-means latency with a 95% CI; `None` when more than half
     /// the replications saturated.
     pub latency: Option<Summary>,
-    /// Per-message latencies pooled over the sustaining replications
-    /// (for exact p50/p95/p99); `None` when the scenario saturated.
+    /// Per-message latencies pooled over the sustaining replications,
+    /// for p50/p95/p99 — exact while every replication stayed below
+    /// [`RunParams::with_latency_sample_cap`], reservoir estimates
+    /// beyond it; `None` when the scenario saturated.
     pub messages: Option<Summary>,
     /// How many replications saturated.
     pub saturated: usize,
@@ -366,28 +453,36 @@ fn run_impl<P>(
     end: Time,
 ) -> SingleRun
 where
-    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>> + Send,
+    P::Msg: Send,
 {
     let n = params.n;
-    let mut sim: Sim<P> = SimBuilder::new(n)
-        .seed(seed)
-        .network(params.net)
-        .build_with(factory);
-    let probe = compiled.entries().iter().find_map(|(t, a)| match a {
-        ScriptAction::Probe(b) => Some((*t, *b)),
-        _ => None,
-    });
-    if let Some((probe_at, broadcaster)) = probe {
-        probe_run(&mut sim, compiled, params, seed, end, probe_at, broadcaster)
-    } else {
-        steady_run(&mut sim, compiled, params, seed, end)
+    match params.backend {
+        Backend::Sim => {
+            let mut rt: Sim<P> = SimBuilder::new(n)
+                .seed(seed)
+                .network(params.net)
+                .build_with(factory);
+            drive(&mut rt, compiled, params, seed, end)
+        }
+        Backend::Real => {
+            let config = RealConfig::new()
+                .heartbeat(
+                    Duration::from_micros(params.hb_period.as_micros()),
+                    Duration::from_micros(params.hb_timeout.as_micros()),
+                )
+                .seed(seed);
+            let mut rt = RealRuntime::new(n, config, factory);
+            drive(&mut rt, compiled, params, seed, end)
+        }
     }
 }
 
-/// Steady-state measurement: Poisson workload over the whole
-/// measurement window, latency averaged over every measured message.
-fn steady_run<P>(
-    sim: &mut Sim<P>,
+/// Runs one compiled scenario on any [`Runtime`] backend: the probe
+/// measurement if the script carries one, the steady measurement
+/// otherwise.
+fn drive<P, R>(
+    rt: &mut R,
     compiled: &CompiledScript,
     params: &RunParams,
     seed: u64,
@@ -395,6 +490,31 @@ fn steady_run<P>(
 ) -> SingleRun
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    R: Runtime<P>,
+{
+    let probe = compiled.entries().iter().find_map(|(t, a)| match a {
+        ScriptAction::Probe(b) => Some((*t, *b)),
+        _ => None,
+    });
+    if let Some((probe_at, broadcaster)) = probe {
+        probe_run(rt, compiled, params, seed, end, probe_at, broadcaster)
+    } else {
+        steady_run(rt, compiled, params, seed, end)
+    }
+}
+
+/// Steady-state measurement: Poisson workload over the whole
+/// measurement window, latency averaged over every measured message.
+fn steady_run<P, R>(
+    sim: &mut R,
+    compiled: &CompiledScript,
+    params: &RunParams,
+    seed: u64,
+    end: Time,
+) -> SingleRun
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    R: Runtime<P>,
 {
     let n = params.n;
     let send_horizon = Time::ZERO + params.warmup + params.measure;
@@ -428,9 +548,11 @@ where
     // the mean with Welford's recurrence — which MUST stay, because
     // the golden-equivalence tests pin the pre-refactor Welford bit
     // patterns and a sum/len mean can differ in the last ulp — while
-    // `latencies` retains the samples for exact percentiles.
+    // `latencies` retains the samples for percentiles, bounded by the
+    // deterministic reservoir so multi-minute runs cannot grow memory
+    // without limit (exact below the cap, uniform subsample above).
     let mut lat = Running::new();
-    let mut latencies = Vec::new();
+    let mut latencies = Reservoir::new(params.latency_cap, derive_seed(seed, 0x1A7E));
     let mut measured = 0u64;
     let mut undelivered = 0u64;
     for (payload, (sent, sender)) in &send_times {
@@ -465,7 +587,7 @@ where
         },
         measured,
         undelivered,
-        latencies,
+        latencies: latencies.into_samples(),
         net: sim.net_stats(),
     }
 }
@@ -473,8 +595,8 @@ where
 /// Probe measurement (the crash-transient methodology): background
 /// load for the whole run, one marked broadcast whose latency is the
 /// sample.
-fn probe_run<P>(
-    sim: &mut Sim<P>,
+fn probe_run<P, R>(
+    sim: &mut R,
     compiled: &CompiledScript,
     params: &RunParams,
     seed: u64,
@@ -484,6 +606,7 @@ fn probe_run<P>(
 ) -> SingleRun
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    R: Runtime<P>,
 {
     let n = params.n;
     assert!(
@@ -522,9 +645,10 @@ where
 
 /// Schedules a compiled script verbatim: injections as themselves,
 /// the probe as a marked command.
-fn schedule_actions<P>(sim: &mut Sim<P>, compiled: &CompiledScript)
+fn schedule_actions<P, R>(sim: &mut R, compiled: &CompiledScript)
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    R: Runtime<P>,
 {
     for (t, act) in compiled.entries() {
         match act {
@@ -806,6 +930,77 @@ mod tests {
         let lat = out.latency.expect("late probe must still deliver");
         assert!(lat.mean() > 0.0);
         assert_eq!(out.saturated, 0);
+    }
+
+    #[test]
+    fn latency_sample_cap_bounds_retained_samples() {
+        let p = quick(3, 200.0).with_latency_sample_cap(32);
+        let out = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 16);
+        let lat = out.latency.expect("sustained");
+        for run in &out.runs {
+            assert!(run.latencies.len() <= 32, "{}", run.latencies.len());
+            assert!(run.measured > 32, "cap must actually bite");
+        }
+        // The mean comes from the Welford accumulator over *all*
+        // samples — capping retention must not move it.
+        let uncapped = run_replicated(
+            Algorithm::Fd,
+            &FaultScript::normal_steady(),
+            &quick(3, 200.0),
+            16,
+        );
+        assert_eq!(
+            lat.mean().to_bits(),
+            uncapped.latency.unwrap().mean().to_bits()
+        );
+        // Capped percentiles stay inside the observed range.
+        let msgs = out.messages.expect("pooled reservoir samples");
+        let all = uncapped.messages.unwrap();
+        assert!(msgs.p50().unwrap() >= all.percentile(1.0).unwrap());
+        assert!(msgs.p50().unwrap() <= all.percentile(100.0).unwrap());
+    }
+
+    #[test]
+    fn capped_runs_stay_deterministic_across_worker_counts() {
+        let p = quick(3, 150.0)
+            .with_latency_sample_cap(16)
+            .with_replications(2);
+        let points = vec![SweepPoint::new(
+            Algorithm::Gm,
+            FaultScript::normal_steady(),
+            p,
+            77,
+        )];
+        let serial = run_sweep_with_workers(&points, 1);
+        let fanned = run_sweep_with_workers(&points, 4);
+        let bits = |o: &RunOutput| {
+            o.runs
+                .iter()
+                .flat_map(|r| r.latencies.iter().map(|l| l.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&serial[0]), bits(&fanned[0]));
+    }
+
+    #[test]
+    fn real_backend_runs_normal_steady() {
+        // A short wall-clock run: ~0.9 s. The real backend must
+        // sustain the load and report meaningful stats.
+        let p = RunParams::new(3, 60.0)
+            .with_warmup(Dur::from_millis(150))
+            .with_measure(Dur::from_millis(400))
+            .with_drain(Dur::from_millis(300))
+            .with_replications(1)
+            .with_backend(Backend::Real);
+        assert_eq!(p.backend(), Backend::Real);
+        let out = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 5);
+        let lat = out.latency.expect("real backend must sustain 60 msg/s");
+        assert!(lat.mean() > 0.0);
+        assert_eq!(out.saturated, 0);
+        let run = &out.runs[0];
+        assert!(run.measured > 0);
+        assert!(run.net.wire_messages > 0);
+        assert!(run.net.cpu_busy > Dur::ZERO);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! crash-then-recover, a healing partition, rolling churn — is the
 //! same grammar with more events.
 //!
+//! The compiled `(Time, Injection)` stream is backend-agnostic: any
+//! [`neko::Runtime`] can schedule it. The simulator interprets the
+//! timestamps as simulated time; the real-time runtime replays the
+//! same stream as a wall-clock schedule (crashes pause threads,
+//! partitions gate a router, FD edges force the heartbeat detector's
+//! mask) — that is what makes every scenario below runnable *for
+//! real* through `Backend::Real`.
+//!
 //! ## Grammar
 //!
 //! * [`FaultScript::normal_steady`] — the empty script;

@@ -1,5 +1,8 @@
 //! Latency statistics: means and Student-t 95% confidence intervals,
-//! as plotted on every figure of the paper.
+//! as plotted on every figure of the paper, plus a deterministic
+//! sample [`Reservoir`] that bounds what long runs retain.
+
+use neko::splitmix64;
 
 /// Two-sided 95% t-quantiles for `df = 1..=30`; the normal quantile is
 /// used beyond.
@@ -129,6 +132,96 @@ impl Summary {
     /// The 99th percentile (see [`Summary::percentile`]).
     pub fn p99(&self) -> Option<f64> {
         self.percentile(99.0)
+    }
+}
+
+/// A bounded, deterministic sample reservoir (Vitter's Algorithm R
+/// over a seeded `splitmix64` stream).
+///
+/// Up to `cap` samples every push is retained verbatim, so
+/// percentiles computed from [`Reservoir::samples`] are **exact**.
+/// Beyond the cap, the `i`-th sample replaces a uniformly chosen slot
+/// with probability `cap / i`, keeping the content a uniform random
+/// subsample of the whole stream: nearest-rank percentiles become
+/// unbiased **estimates** whose error shrinks like `1 / √cap`. The
+/// replacement choices depend only on the seed and the number of
+/// samples seen — never on threads or timing — so any run is
+/// bit-reproducible.
+///
+/// ```
+/// use study::Reservoir;
+///
+/// let mut r = Reservoir::new(4, 7);
+/// for x in 0..3 {
+///     r.push(x as f64);
+/// }
+/// assert!(r.is_exact());
+/// assert_eq!(r.samples(), &[0.0, 1.0, 2.0]);
+/// for x in 3..1000 {
+///     r.push(x as f64);
+/// }
+/// assert!(!r.is_exact());
+/// assert_eq!(r.samples().len(), 4);
+/// assert_eq!(r.seen(), 1000);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    state: u64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// An empty reservoir holding at most `cap` samples, with the
+    /// replacement stream seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "a reservoir must hold at least one sample");
+        Reservoir {
+            cap,
+            seen: 0,
+            state: seed,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            let j = splitmix64(&mut self.state) % self.seen;
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// How many observations were pushed (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// `true` while every pushed observation is still retained
+    /// (percentiles over [`samples`](Self::samples) are exact).
+    pub fn is_exact(&self) -> bool {
+        self.seen <= self.cap as u64
+    }
+
+    /// The retained samples: the full stream in push order while
+    /// [`is_exact`](Self::is_exact), a uniform subsample after.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Consumes the reservoir, returning the retained samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
     }
 }
 
@@ -311,6 +404,59 @@ mod tests {
     #[should_panic(expected = "percentile must be in")]
     fn zeroth_percentile_rejected() {
         let _ = Summary::from_samples(&[1.0]).percentile(0.0);
+    }
+
+    #[test]
+    fn reservoir_is_exact_below_cap_and_bounded_above() {
+        let mut r = Reservoir::new(8, 3);
+        for x in 0..8 {
+            r.push(x as f64);
+        }
+        assert!(r.is_exact());
+        assert_eq!(r.samples(), (0..8).map(|x| x as f64).collect::<Vec<_>>());
+        for x in 8..10_000 {
+            r.push(x as f64);
+        }
+        assert!(!r.is_exact());
+        assert_eq!(r.samples().len(), 8);
+        assert_eq!(r.seen(), 10_000);
+        // Every retained sample came from the stream.
+        assert!(r.samples().iter().all(|&x| (0.0..10_000.0).contains(&x)));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_in_the_seed() {
+        let fill = |seed: u64| {
+            let mut r = Reservoir::new(16, seed);
+            for x in 0..5_000 {
+                r.push((x as f64).sin());
+            }
+            r.into_samples()
+        };
+        assert_eq!(fill(42), fill(42));
+        assert_ne!(fill(42), fill(43));
+    }
+
+    #[test]
+    fn reservoir_subsample_tracks_the_distribution() {
+        // Uniform stream 0..100_000: the retained sample's median must
+        // land near the true median.
+        let mut r = Reservoir::new(4_096, 9);
+        for x in 0..100_000u64 {
+            r.push(x as f64);
+        }
+        let s = Summary::from_samples(r.samples());
+        let p50 = s.p50().unwrap();
+        assert!(
+            (p50 - 50_000.0).abs() < 5_000.0,
+            "estimated median {p50} too far from 50000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_capacity_reservoir_panics() {
+        let _ = Reservoir::new(0, 1);
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //! * [`SuspectSet`] — per-process bookkeeping used by the protocol
 //!   state machines;
 //! * [`QosEstimator`] — measures the metrics back from an observed
-//!   edge stream (e.g. from the real runtime's heartbeat detector,
-//!   which lives in [`neko::RealConfig::heartbeat`]).
+//!   edge stream (e.g. from the heartbeat detector of the real-time
+//!   backend, [`neko::RealRuntime`], configured through
+//!   [`neko::RealConfig::heartbeat`]).
+//!
+//! The plan compilers are backend-agnostic: on [`neko::Sim`] the
+//! injections drive the abstract QoS detector model; on
+//! [`neko::RealRuntime`] the same `Fd` edges are forced onto the
+//! live heartbeat detector's mask, so a scripted suspicion burst
+//! perturbs a real thread exactly when it perturbed the simulation.
 //!
 //! ```
 //! use fdet::{suspicion_steady_plan, QosParams};

@@ -5,7 +5,10 @@
 //! 2000), plus a thread-based real-time runtime — the same
 //! architecture as the Neko framework used by the DSN 2003 paper this
 //! workspace reproduces ("a single environment to simulate and
-//! prototype distributed algorithms").
+//! prototype distributed algorithms"). Both backends implement the
+//! [`Runtime`] driver trait, so the same schedule of commands and
+//! fault [`Injection`]s runs on simulated time ([`Sim`]) or on the
+//! wall clock ([`RealRuntime`]).
 //!
 //! ## Model
 //!
@@ -66,13 +69,15 @@ mod net;
 mod process;
 mod real;
 mod rng;
+mod runtime;
 mod sim;
 mod time;
 
 pub use inject::{Injection, Partition};
 pub use net::{NetParams, NetStats, NetworkModel, WanParams};
 pub use process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
-pub use real::{run_real, RealConfig, RealReport, RealSchedule};
+pub use real::{RealConfig, RealRuntime};
 pub use rng::{derive_seed, sample_exp_micros, splitmix64, stream_rng};
+pub use runtime::Runtime;
 pub use sim::{Sim, SimBuilder};
 pub use time::{Dur, Time};

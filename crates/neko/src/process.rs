@@ -3,8 +3,9 @@
 //!
 //! Protocol stacks implement [`Process`]; the same implementation runs
 //! unchanged on the discrete-event simulator ([`crate::Sim`]) and on
-//! the thread-based real-time runtime ([`crate::RealCluster`]) — this
-//! mirrors the Neko framework the paper used.
+//! the thread-based real-time runtime ([`crate::RealRuntime`]) — this
+//! mirrors the Neko framework the paper used. Drivers talk to either
+//! backend through [`crate::Runtime`].
 
 use core::fmt;
 

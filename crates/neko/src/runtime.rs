@@ -1,0 +1,122 @@
+//! The driver abstraction shared by the simulator and the real-time
+//! runtime.
+//!
+//! A [`Runtime`] is what an experiment driver talks to: it schedules
+//! commands and fault [`Injection`]s on a [`Time`] axis, runs the
+//! system to a horizon, and hands back timestamped outputs plus
+//! [`NetStats`] counters. [`crate::Sim`] interprets the time axis as
+//! simulated time; [`crate::RealRuntime`] interprets the *same* axis
+//! as wall-clock offsets from the start of the run. Everything above
+//! this trait — fault scripts, workloads, the measurement pipeline —
+//! is backend-agnostic, which is the Neko promise the paper leans on:
+//! one algorithm implementation, simulated *and* prototyped.
+//!
+//! ```
+//! use neko::{Ctx, Injection, Pid, Process, Runtime, SimBuilder, Time};
+//!
+//! struct Echo;
+//! impl Process for Echo {
+//!     type Msg = u64;
+//!     type Cmd = u64;
+//!     type Out = u64;
+//!     fn on_command(&mut self, ctx: &mut dyn Ctx<u64, u64>, cmd: u64) {
+//!         ctx.broadcast(cmd);
+//!     }
+//!     fn on_message(&mut self, ctx: &mut dyn Ctx<u64, u64>, _from: Pid, msg: u64) {
+//!         ctx.emit(msg);
+//!     }
+//! }
+//!
+//! // Drive any backend through the trait; here, the simulator.
+//! fn drive<R: Runtime<Echo>>(rt: &mut R) -> usize {
+//!     rt.schedule_command(Time::ZERO, Pid::new(0), 7);
+//!     rt.schedule_injection(Time::from_millis(1), Injection::Crash(Pid::new(2)));
+//!     rt.run_until(Time::from_millis(20));
+//!     rt.take_outputs().len()
+//! }
+//!
+//! let mut sim = SimBuilder::new(3).build_with(|_| Echo);
+//! assert_eq!(drive(&mut sim), 2); // third copy died with p3
+//! ```
+
+use crate::inject::Injection;
+use crate::net::NetStats;
+use crate::process::{Pid, Process};
+use crate::sim::Sim;
+use crate::time::Time;
+
+/// A backend that can run `n` replicas of a [`Process`] under a
+/// driver-supplied schedule of commands and fault injections.
+///
+/// The time axis is backend-defined — simulated time for
+/// [`crate::Sim`], wall-clock offsets for [`crate::RealRuntime`] —
+/// but the *protocol* is shared: schedule everything, call
+/// [`run_until`](Runtime::run_until), then collect outputs and stats.
+pub trait Runtime<P: Process> {
+    /// The number of processes.
+    fn n(&self) -> usize;
+
+    /// The current time on this backend's axis.
+    fn now(&self) -> Time;
+
+    /// Injects a command for `to` at time `at`.
+    fn schedule_command(&mut self, at: Time, to: Pid, cmd: P::Cmd);
+
+    /// Schedules one fault [`Injection`] at time `at`.
+    fn schedule_injection(&mut self, at: Time, inj: Injection);
+
+    /// Runs the system up to time `until` on this backend's axis.
+    /// Blocks until the horizon is reached (instantaneous for the
+    /// simulator, `until` wall-clock time for the real runtime).
+    fn run_until(&mut self, until: Time);
+
+    /// Drains the outputs emitted (via [`crate::Ctx::emit`]) since the
+    /// last call, ordered by `(time, pid)`.
+    fn take_outputs(&mut self) -> Vec<(Time, Pid, P::Out)>;
+
+    /// Network/CPU counters accumulated so far. Real backends measure
+    /// what actually happened on the wire and the handler threads;
+    /// the simulator reports its model's resource accounting.
+    fn net_stats(&self) -> NetStats;
+
+    /// Schedules a whole injection timeline (e.g. a compiled fault
+    /// script), in order.
+    fn schedule_plan(&mut self, plan: impl IntoIterator<Item = (Time, Injection)>)
+    where
+        Self: Sized,
+    {
+        for (at, inj) in plan {
+            self.schedule_injection(at, inj);
+        }
+    }
+}
+
+impl<P: Process> Runtime<P> for Sim<P> {
+    fn n(&self) -> usize {
+        Sim::n(self)
+    }
+
+    fn now(&self) -> Time {
+        Sim::now(self)
+    }
+
+    fn schedule_command(&mut self, at: Time, to: Pid, cmd: P::Cmd) {
+        Sim::schedule_command(self, at, to, cmd);
+    }
+
+    fn schedule_injection(&mut self, at: Time, inj: Injection) {
+        Sim::schedule_injection(self, at, inj);
+    }
+
+    fn run_until(&mut self, until: Time) {
+        Sim::run_until(self, until);
+    }
+
+    fn take_outputs(&mut self) -> Vec<(Time, Pid, P::Out)> {
+        Sim::take_outputs(self)
+    }
+
+    fn net_stats(&self) -> NetStats {
+        Sim::net_stats(self)
+    }
+}

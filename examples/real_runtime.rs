@@ -3,9 +3,10 @@
 //! heartbeat failure detector, crash a process for real, and verify
 //! the survivors still agree on one total order.
 //!
-//! This is the "prototyping" half of the Neko-style framework — useful
-//! for checking that the state machines do not secretly depend on
-//! simulator timing.
+//! This is the "prototyping" half of the Neko-style framework — the
+//! [`neko::Runtime`] trait means the schedule below would drive a
+//! [`neko::Sim`] verbatim; here it drives threads and wall-clock
+//! time instead.
 //!
 //! ```text
 //! cargo run --release --example real_runtime
@@ -15,41 +16,39 @@ use std::time::Duration;
 
 use abcast::{AbcastEvent, FdNode};
 use fdet::SuspectSet;
-use neko::{run_real, Pid, RealConfig, RealSchedule};
+use neko::{Injection, Pid, RealConfig, RealRuntime, Runtime, Time};
 
 fn main() {
     let n = 3;
     let suspects = SuspectSet::new();
 
-    let mut schedule = RealSchedule::new();
-    for i in 0..20u64 {
-        schedule = schedule.command(
-            Duration::from_millis(20 + i * 8),
-            Pid::new((i % 3) as usize),
-            i,
-        );
-    }
-    // p3 crashes for real mid-run; the heartbeat detector takes over.
-    schedule = schedule.crash(Duration::from_millis(100), Pid::new(2));
+    let config = RealConfig::new().heartbeat(Duration::from_millis(5), Duration::from_millis(60));
+    let mut rt = RealRuntime::new(n, config, |p| FdNode::<u64>::new(p, n, &suspects));
 
-    let report = run_real(
-        n,
-        RealConfig::new(Duration::from_secs(2))
-            .heartbeat(Duration::from_millis(5), Duration::from_millis(60)),
-        |p| FdNode::<u64>::new(p, n, &suspects),
-        schedule,
-    );
+    for i in 0..20u64 {
+        rt.schedule_command(Time::from_millis(20 + i * 8), Pid::new((i % 3) as usize), i);
+    }
+    // p3 crashes for real mid-run (its thread pauses); the heartbeat
+    // detector takes over from there.
+    rt.schedule_injection(Time::from_millis(100), Injection::Crash(Pid::new(2)));
+
+    rt.run_until(Time::from_secs(2));
 
     let mut logs: Vec<Vec<u64>> = vec![Vec::new(); n];
-    for (_, p, ev) in &report.outputs {
+    for (_, p, ev) in &rt.take_outputs() {
         let AbcastEvent::Delivered { payload, .. } = ev;
         logs[p.index()].push(*payload);
     }
 
-    println!("real-time runtime (threads + heartbeat failure detector)");
+    println!("real-time runtime (threads + router + heartbeat failure detector)");
     for (i, log) in logs.iter().enumerate() {
         println!("  p{}: delivered {} messages", i + 1, log.len());
     }
+    let stats = rt.net_stats();
+    println!(
+        "  wire: {} msgs, {} dropped to the crashed thread, cpu busy {}",
+        stats.wire_messages, stats.dropped_to_crashed, stats.cpu_busy
+    );
     assert_eq!(logs[0], logs[1], "survivors must agree on the total order");
     assert!(
         logs[0].starts_with(&logs[2]),

@@ -1,0 +1,223 @@
+//! Cross-backend conformance: the same seeded workload driven through
+//! `Backend::Sim` and `Backend::Real` must leave the atomic-broadcast
+//! contract intact on the real backend — **agreement** (every message
+//! delivered somewhere is delivered everywhere among correct
+//! processes), **total order** (delivery logs are prefix-compatible),
+//! **no duplication**, and **validity** (every broadcast by a correct
+//! process is delivered).
+//!
+//! The point of the [`neko::Runtime`] driver layer is that nothing in
+//! these tests names a backend until the last moment: one generic
+//! function schedules the workload, and the same fault scripts run
+//! through `study::run_once` on either selector.
+
+use abcast::{AbcastEvent, FdNode, GmNode, MsgId};
+use fdet::{QosParams, SuspectSet};
+use neko::{Dur, Pid, Process, RealConfig, RealRuntime, Runtime, SimBuilder, Time};
+use study::{poisson_arrivals, run_once, Algorithm, Backend, FaultScript, RunParams};
+
+/// Drives the same Poisson workload through any backend and returns
+/// the per-process delivery logs.
+fn drive<P, R>(
+    rt: &mut R,
+    n: usize,
+    throughput: f64,
+    horizon: Time,
+    seed: u64,
+) -> Vec<Vec<(MsgId, u64)>>
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+    R: Runtime<P>,
+{
+    let senders: Vec<Pid> = Pid::all(n).collect();
+    for (t, p, v) in poisson_arrivals(n, throughput, horizon, &senders, seed) {
+        rt.schedule_command(t, p, v);
+    }
+    rt.run_until(horizon + Dur::from_millis(500));
+    let mut logs = vec![Vec::new(); n];
+    for (_, p, ev) in rt.take_outputs() {
+        let AbcastEvent::Delivered { id, payload } = ev;
+        logs[p.index()].push((id, payload));
+    }
+    logs
+}
+
+/// Agreement + total order (prefix-compatible logs) + no duplication.
+fn assert_abcast_invariants(logs: &[Vec<(MsgId, u64)>], label: &str) {
+    let longest = logs.iter().max_by_key(|l| l.len()).expect("some process");
+    for (i, log) in logs.iter().enumerate() {
+        assert!(
+            longest.starts_with(log),
+            "{label}: p{}'s deliveries are not a prefix of the longest log\n p{}: {log:?}\n longest: {longest:?}",
+            i + 1,
+            i + 1,
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, _) in log {
+            assert!(
+                seen.insert(*id),
+                "{label}: duplicate delivery of {id} at p{}",
+                i + 1
+            );
+        }
+    }
+}
+
+fn conformance_for<P>(make: impl Fn(Pid) -> P + Copy, label: &str)
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>> + Send,
+    P::Msg: Send,
+{
+    let (n, throughput, seed) = (3, 60.0, 0xC0F0);
+    let horizon = Time::from_millis(700);
+
+    let mut sim = SimBuilder::new(n).seed(seed).build_with(make);
+    let sim_logs = drive(&mut sim, n, throughput, horizon, seed);
+
+    let config = RealConfig::new()
+        .heartbeat(
+            std::time::Duration::from_millis(5),
+            std::time::Duration::from_millis(60),
+        )
+        .seed(seed);
+    let mut real = RealRuntime::new(n, config, make);
+    let real_logs = drive(&mut real, n, throughput, horizon, seed);
+
+    // The real backend upholds the atomic-broadcast contract …
+    assert_abcast_invariants(&real_logs, label);
+    // … including validity: in a fault-free run below saturation,
+    // every process delivers every broadcast —
+    let total = sim_logs[0].len();
+    for (i, log) in real_logs.iter().enumerate() {
+        assert_eq!(log.len(), total, "{label}: p{} missed messages", i + 1);
+    }
+    // — and delivers exactly the payload set the simulator delivered
+    // for the same seeded workload (the order may legitimately differ
+    // between wall-clock and simulated time).
+    let payload_set = |logs: &[Vec<(MsgId, u64)>]| {
+        logs[0]
+            .iter()
+            .map(|(_, v)| *v)
+            .collect::<std::collections::BTreeSet<u64>>()
+    };
+    assert_eq!(payload_set(&sim_logs), payload_set(&real_logs), "{label}");
+}
+
+#[test]
+fn same_seeded_workload_conforms_across_backends_fd() {
+    let n = 3;
+    let s = SuspectSet::new();
+    conformance_for(|p| FdNode::<u64>::new(p, n, &s), "FD sim↔real");
+}
+
+#[test]
+fn same_seeded_workload_conforms_across_backends_gm() {
+    let n = 3;
+    let s = SuspectSet::new();
+    conformance_for(|p| GmNode::<u64>::new(p, n, &s), "GM sim↔real");
+}
+
+/// Short wall-clock run dimensions for the scenario smoke below.
+fn real_params(n: usize, throughput: f64) -> RunParams {
+    RunParams::new(n, throughput)
+        .with_warmup(Dur::from_millis(150))
+        .with_measure(Dur::from_millis(500))
+        .with_drain(Dur::from_millis(400))
+        .with_replications(1)
+        .with_backend(Backend::Real)
+        .with_real_heartbeat(Dur::from_millis(5), Dur::from_millis(60))
+}
+
+/// The four paper scenarios plus crash-recover and healing-partition,
+/// through the *unchanged* `study::run_once` pipeline on
+/// `Backend::Real`. Fault windows tolerate transient undeliverables,
+/// hence the lax saturation bar on the recovery scenarios.
+fn real_scenarios() -> Vec<(&'static str, FaultScript, RunParams)> {
+    let qos = QosParams::new()
+        .with_mistake_recurrence(Dur::from_millis(800))
+        .with_mistake_duration(Dur::from_millis(5));
+    vec![
+        (
+            "normal-steady",
+            FaultScript::normal_steady(),
+            real_params(3, 50.0),
+        ),
+        (
+            "crash-steady",
+            FaultScript::crash_steady(&[Pid::new(2)]),
+            real_params(3, 50.0),
+        ),
+        (
+            "suspicion-steady",
+            FaultScript::suspicion_steady(qos),
+            real_params(3, 50.0).with_saturation_frac(0.5),
+        ),
+        (
+            "crash-transient",
+            FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(40)),
+            real_params(3, 20.0).with_drain(Dur::from_millis(600)),
+        ),
+        (
+            "crash-recover",
+            FaultScript::crash_recover(
+                Pid::new(2),
+                Dur::from_millis(100),
+                Dur::from_millis(250),
+                Dur::from_millis(30),
+            ),
+            real_params(3, 50.0).with_saturation_frac(0.5),
+        ),
+        (
+            "healing-partition",
+            FaultScript::healing_partition(
+                vec![vec![Pid::new(0), Pid::new(1)], vec![Pid::new(2)]],
+                Dur::from_millis(100),
+                Dur::from_millis(250),
+                Dur::from_millis(30),
+            ),
+            real_params(3, 50.0)
+                .with_drain(Dur::from_millis(600))
+                .with_saturation_frac(0.5),
+        ),
+    ]
+}
+
+fn scenarios_run_for_real(alg: Algorithm) {
+    for (name, script, params) in real_scenarios() {
+        let run = run_once(alg, &script, &params, 0x5EA1);
+        assert!(
+            run.mean_latency_ms.is_some(),
+            "{alg:?}/{name} saturated on the real backend: measured {} undelivered {}",
+            run.measured,
+            run.undelivered,
+        );
+        assert!(run.measured > 0, "{alg:?}/{name}: nothing measured");
+    }
+}
+
+#[test]
+fn paper_scenarios_run_for_real_fd() {
+    scenarios_run_for_real(Algorithm::Fd);
+}
+
+#[test]
+fn paper_scenarios_run_for_real_gm() {
+    scenarios_run_for_real(Algorithm::Gm);
+}
+
+#[test]
+fn sim_and_real_agree_on_what_was_measured() {
+    // `measured` counts script-time arrivals by live senders — a pure
+    // function of the compiled script and the seed, so both backends
+    // must report the same number for the same run dimensions.
+    let script = FaultScript::normal_steady();
+    let sim = run_once(
+        Algorithm::Fd,
+        &script,
+        &real_params(3, 50.0).with_backend(Backend::Sim),
+        7,
+    );
+    let real = run_once(Algorithm::Fd, &script, &real_params(3, 50.0), 7);
+    assert_eq!(sim.measured, real.measured);
+    assert_eq!(real.undelivered, 0);
+}
