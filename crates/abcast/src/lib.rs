@@ -27,11 +27,13 @@
 //! assert_eq!(delivered.len(), 3); // every process A-delivered it
 //! ```
 
+mod batch;
 mod common;
 mod fd;
 mod gm;
 mod node;
 
+pub use batch::{BatchConfig, Batched, Batcher, Pack};
 pub use common::{AbcastEvent, MsgId, Payload};
 pub use fd::{Batch, FdAbcast, FdCastAction, FdCastMsg};
 pub use gm::{Bundle, GmAbcast, GmCastAction, GmCastMsg, Uniformity, NONUNIFORM_ACK_EVERY};

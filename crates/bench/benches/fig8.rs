@@ -45,7 +45,7 @@ fn main() {
                 None
             }
         };
-        report.custom_row(&series, t, "overhead_ms", value);
+        report.custom_row(&series, t, "overhead_ms", "ci95_ms", value, &[]);
     }
     report.finish();
 }

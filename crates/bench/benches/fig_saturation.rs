@@ -1,0 +1,151 @@
+//! **fig_saturation** — max sustainable throughput `T*` per scenario,
+//! beyond the paper: where exactly is the knee of each curve, and how
+//! far does adaptive message batching push it?
+//!
+//! For each paper scenario × algorithm × topology × {batching off/on},
+//! [`study::find_saturation`] brackets the knee with a geometric ramp
+//! plus bisection (same undelivered-fraction predicate as every
+//! steady run, same seed at every probe — deterministic on the
+//! simulator). Rows report `T*` (1/s) with the final bracket width
+//! as the (one-sided) uncertainty — the true knee lies in
+//! `[T*, T* + width)` — plus the mean latency *at* `T*`.
+//!
+//! Expected shape: batching multiplies `T*` on the shared medium (one
+//! wire slot per pack instead of per payload); the switched topology
+//! starts higher (disjoint links overlap) and gains again with
+//! batching. Quick mode (`ATOMBENCH_QUICK=1`) runs one scenario on
+//! the shared medium with a coarse ramp — the CI smoke.
+
+use figures::{effort, Effort, Report};
+use neko::{Dur, NetworkModel, Pid};
+use study::{find_saturation, Algorithm, FaultScript, RunParams, SaturationSearch};
+
+/// The batching knobs under study: deep enough packs to matter at
+/// multi-thousand msg/s, shallow enough delay to keep latency in the
+/// paper's range.
+fn batch_cfg() -> abcast::BatchConfig {
+    abcast::BatchConfig::new(32, Dur::from_millis(10))
+}
+
+/// The four paper scenario timelines (Section 5.2) at n = 3. The
+/// crash-transient timeline runs *without* its probe: the search
+/// needs the steady undelivered-fraction predicate (a probe's
+/// delivery measures the drain window, not the load — see
+/// `find_saturation`), so the fourth row reports the steady knee of
+/// a run whose coordinator/sequencer crashes right after warm-up.
+fn scenarios() -> Vec<(&'static str, FaultScript)> {
+    use study::ScriptTime;
+    let qos = fdet::QosParams::new()
+        .with_mistake_recurrence(Dur::from_secs(1))
+        .with_mistake_duration(Dur::from_millis(10));
+    vec![
+        ("normal-steady", FaultScript::normal_steady()),
+        ("crash-steady", FaultScript::crash_steady(&[Pid::new(2)])),
+        ("suspicion-steady", FaultScript::suspicion_steady(qos)),
+        (
+            "coordinator-crash",
+            FaultScript::default().crash(
+                ScriptTime::AfterWarmup(Dur::ZERO),
+                Pid::new(0),
+                Dur::from_millis(10),
+            ),
+        ),
+    ]
+}
+
+fn main() {
+    let n = 3;
+    let (base, search, scenario_count, topologies): (RunParams, SaturationSearch, usize, Vec<_>) =
+        match effort() {
+            // CI smoke: one scenario, shared medium, coarse ramp.
+            Effort::Quick => (
+                RunParams::new(n, 0.0)
+                    .with_warmup(Dur::from_millis(200))
+                    .with_measure(Dur::from_millis(800))
+                    .with_drain(Dur::from_millis(800))
+                    .with_replications(1),
+                SaturationSearch::default()
+                    .with_start(100.0)
+                    .with_ceiling(25_600.0)
+                    .with_rel_tol(0.5),
+                1,
+                vec![("shared", NetworkModel::SharedMedium)],
+            ),
+            Effort::Normal => (
+                RunParams::new(n, 0.0)
+                    .with_warmup(Dur::from_millis(500))
+                    .with_measure(Dur::from_secs(2))
+                    .with_drain(Dur::from_secs(1))
+                    .with_replications(2),
+                SaturationSearch::default()
+                    .with_start(100.0)
+                    .with_ceiling(51_200.0)
+                    .with_rel_tol(0.2),
+                4,
+                vec![
+                    ("shared", NetworkModel::SharedMedium),
+                    ("switched", NetworkModel::Switched),
+                ],
+            ),
+            Effort::Full => (
+                RunParams::new(n, 0.0)
+                    .with_warmup(Dur::from_secs(1))
+                    .with_measure(Dur::from_secs(4))
+                    .with_drain(Dur::from_secs(2))
+                    .with_replications(3),
+                SaturationSearch::default()
+                    .with_start(100.0)
+                    .with_ceiling(102_400.0)
+                    .with_rel_tol(0.05),
+                4,
+                vec![
+                    ("shared", NetworkModel::SharedMedium),
+                    ("switched", NetworkModel::Switched),
+                ],
+            ),
+        };
+
+    let mut report = Report::new_custom("fig_saturation", "scenario");
+    println!(
+        "figure,series,scenario,t_star_per_s,bracket_width_per_s,latency_at_t_star_ms,ceiling_hit"
+    );
+    for (topo_name, model) in topologies {
+        for (scenario, script) in scenarios().into_iter().take(scenario_count) {
+            for alg in Algorithm::PAPER {
+                for (batch_name, batching) in [("unbatched", None), ("batched", Some(batch_cfg()))]
+                {
+                    let mut params = base.clone().with_network_model(model);
+                    if let Some(cfg) = batching {
+                        params = params.with_batching(cfg);
+                    }
+                    let res = find_saturation(alg, &script, &params, 0x5A70_0005, &search);
+                    let latency = res
+                        .at_t_star
+                        .as_ref()
+                        .and_then(|o| o.mean_latency_ms())
+                        .map_or(String::new(), |l| format!("{l:.3}"));
+                    let series = format!("n={n} {alg:?} {topo_name} {batch_name}");
+                    // A search that sustained its ceiling never found
+                    // the knee: `t_star` is a lower bound, not a
+                    // measurement — flag it so a zero bracket width
+                    // cannot be read as an exact result.
+                    let ceiling_hit = res.t_star > 0.0 && res.saturated_at.is_none();
+                    println!(
+                        "fig_saturation,{series},{scenario},{:.1},{:.1},{latency},{ceiling_hit}",
+                        res.t_star,
+                        res.bracket_width(),
+                    );
+                    report.custom_row(
+                        &series,
+                        scenario,
+                        "t_star_per_s",
+                        "bracket_width_per_s",
+                        (res.t_star > 0.0).then_some((res.t_star, res.bracket_width())),
+                        &[("ceiling_hit", figures::Json::Bool(ceiling_hit))],
+                    );
+                }
+            }
+        }
+    }
+    report.finish();
+}

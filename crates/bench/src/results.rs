@@ -63,7 +63,16 @@ impl Json {
             Json::Null => s.push_str("null"),
             Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
+                // Integer-valued doubles up to 2^53 (the last magnitude
+                // where every integer is exactly representable, so the
+                // `as i64` cast is lossless — this includes the 1e15
+                // boundary) render without a fraction. Negative zero
+                // must skip the fast path: `-0.0 as i64` is `0`, which
+                // would silently drop the sign on a parse→render
+                // round-trip; `{x}` renders it as `-0`.
+                const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+                let negative_zero = *x == 0.0 && x.is_sign_negative();
+                if x.fract() == 0.0 && x.abs() <= MAX_EXACT_INT && !negative_zero {
                     let _ = write!(s, "{}", *x as i64);
                 } else {
                     let _ = write!(s, "{x}");
@@ -386,15 +395,24 @@ impl Report {
     }
 
     /// Records a row whose value column the bench computes and prints
-    /// itself (e.g. fig8's latency *overhead*).
+    /// itself (e.g. fig8's latency *overhead*, fig_saturation's
+    /// `T*`). `value` is `(value, uncertainty)`; the uncertainty is
+    /// stored under `uncertainty_name` so its unit stays honest
+    /// (`ci95_ms` for latencies, `bracket_width_per_s` for
+    /// throughputs — a fixed key would mislabel one of them).
+    /// `extra` fields are appended verbatim (e.g. fig_saturation's
+    /// `ceiling_hit` marker for values that are lower bounds, not
+    /// measurements).
     pub fn custom_row(
         &mut self,
         series: &str,
         x: impl std::fmt::Display,
         value_name: &str,
+        uncertainty_name: &str,
         value: Option<(f64, f64)>,
+        extra: &[(&str, Json)],
     ) {
-        self.rows.push(Json::Obj(vec![
+        let mut fields = vec![
             ("series".into(), Json::Str(series.to_string())),
             ("x".into(), x_value(&x.to_string())),
             (
@@ -402,11 +420,13 @@ impl Report {
                 value.map_or(Json::Null, |(v, _)| Json::Num(v)),
             ),
             (
-                "ci95_ms".into(),
-                value.map_or(Json::Null, |(_, ci)| Json::Num(ci)),
+                uncertainty_name.into(),
+                value.map_or(Json::Null, |(_, u)| Json::Num(u)),
             ),
             ("saturated".into(), Json::Bool(value.is_none())),
-        ]));
+        ];
+        fields.extend(extra.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
+        self.rows.push(Json::Obj(fields));
     }
 
     /// Merges this figure into `BENCH_results.json` (replacing any
@@ -558,6 +578,37 @@ mod tests {
     fn integers_render_without_exponent_noise() {
         assert_eq!(Json::Num(1753776000.0).render(), "1753776000");
         assert_eq!(Json::Num(0.125).render(), "0.125");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_through_a_round_trip() {
+        let rendered = Json::Num(-0.0).render();
+        assert_eq!(rendered, "-0");
+        let Json::Num(back) = Json::parse(&rendered).unwrap() else {
+            panic!("not a number");
+        };
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Positive zero still takes the integral fast path.
+        assert_eq!(Json::Num(0.0).render(), "0");
+    }
+
+    #[test]
+    fn integral_boundaries_render_exactly() {
+        // The old `< 1e15` cutoff pushed 1e15 itself through the float
+        // formatter; integers are exact up to 2^53, so render them all
+        // without a fraction — and fall back beyond, where `as i64`
+        // would no longer be lossless.
+        assert_eq!(Json::Num(1e15).render(), "1000000000000000");
+        assert_eq!(Json::Num(-1e15).render(), "-1000000000000000");
+        let two53 = 9_007_199_254_740_992.0f64;
+        assert_eq!(Json::Num(two53).render(), "9007199254740992");
+        assert_eq!(Json::Num(-two53).render(), "-9007199254740992");
+        for x in [1e15, -1e15, two53, -two53, 1e16, 2.5e18] {
+            let Json::Num(back) = Json::parse(&Json::Num(x).render()).unwrap() else {
+                panic!("not a number");
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "round-trip of {x}");
+        }
     }
 
     #[test]

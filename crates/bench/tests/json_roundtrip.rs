@@ -1,0 +1,152 @@
+//! Property tests for the hand-rolled JSON in `figures::Json`:
+//! render → parse must return the input bit-for-bit — extreme
+//! magnitudes, signed zero, deep nesting, awkward strings.
+
+use figures::Json;
+use proptest::prelude::*;
+
+/// Structural equality with *bit-level* number comparison: the
+/// derived `PartialEq` uses `f64 == f64`, under which `-0.0 == 0.0`
+/// would hide exactly the sign-loss bug the render path had.
+fn bit_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_eq(x, y))
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((k, x), (l, y))| k == l && bit_eq(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_roundtrip(doc: &Json) {
+    let text = doc.render();
+    let back = Json::parse(&text).unwrap_or_else(|e| panic!("parse of {text:?} failed: {e}"));
+    assert!(
+        bit_eq(doc, &back),
+        "round-trip drifted:\n  in:  {doc:?}\n  out: {back:?}\n  via: {text}"
+    );
+}
+
+/// A deterministic splitmix64 stream — the vendored proptest has no
+/// recursive strategies, so trees are derived from one drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Numbers biased toward the nasty cases: signed zeros, the integral
+/// fast-path boundaries, huge and tiny magnitudes, arbitrary bit
+/// patterns (filtered to finite — JSON has no NaN/∞).
+fn arb_num(state: &mut u64) -> f64 {
+    const TWO53: f64 = 9_007_199_254_740_992.0;
+    match mix(state) % 12 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1e15,
+        3 => -1e15,
+        4 => TWO53,
+        5 => -TWO53,
+        6 => TWO53 + 2.0,
+        7 => 1e308,
+        8 => 5e-324, // smallest subnormal
+        9 => -2.5e-10,
+        _ => {
+            let x = f64::from_bits(mix(state));
+            if x.is_finite() {
+                x
+            } else {
+                mix(state) as f64 - (u64::MAX / 2) as f64
+            }
+        }
+    }
+}
+
+fn arb_string(state: &mut u64) -> String {
+    let pool = [
+        "",
+        "plain",
+        "with \"quotes\"",
+        "back\\slash",
+        "line\nbreak",
+        "tab\there",
+        "nul\u{0}end",
+        "ünïcode ✓",
+        "control\u{1}\u{1f}",
+        "emoji 🦀",
+    ];
+    pool[(mix(state) % pool.len() as u64) as usize].to_string()
+}
+
+/// A random document tree. `depth` bounds recursion; at depth 0 only
+/// leaves are generated, so a chain of nested arrays can reach ~30
+/// levels.
+fn arb_json(state: &mut u64, depth: u32) -> Json {
+    let leaf_only = depth == 0;
+    match mix(state) % if leaf_only { 4 } else { 6 } {
+        0 => Json::Null,
+        1 => Json::Bool(mix(state).is_multiple_of(2)),
+        2 => Json::Num(arb_num(state)),
+        3 => Json::Str(arb_string(state)),
+        4 => {
+            let len = (mix(state) % 4) as usize;
+            Json::Arr((0..len).map(|_| arb_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (mix(state) % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", arb_string(state)),
+                            arb_json(state, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn numbers_roundtrip_bit_for_bit(seed in any::<u64>()) {
+        let mut state = seed;
+        for _ in 0..16 {
+            assert_roundtrip(&Json::Num(arb_num(&mut state)));
+        }
+    }
+
+    #[test]
+    fn documents_roundtrip(seed in any::<u64>(), depth in 1u32..6) {
+        let mut state = seed;
+        assert_roundtrip(&arb_json(&mut state, depth));
+    }
+
+    #[test]
+    fn deep_nesting_roundtrips(seed in any::<u64>(), depth in 1usize..32) {
+        // A pathological chain: arrays in objects in arrays, `depth`
+        // levels down to one nasty number.
+        let mut state = seed;
+        let mut doc = Json::Num(arb_num(&mut state));
+        for level in 0..depth {
+            doc = if level % 2 == 0 {
+                Json::Arr(vec![doc])
+            } else {
+                Json::Obj(vec![("nest".to_string(), doc)])
+            };
+        }
+        assert_roundtrip(&doc);
+    }
+}

@@ -574,6 +574,38 @@ mod tests {
     }
 
     #[test]
+    fn pack_values_decide_whole() {
+        // The batching layer proposes packs of (id, payload) pairs;
+        // consensus is value-generic, so a whole pack is decided (and
+        // learned by the acking participant) intact, in one instance.
+        type Pack = Vec<(u64, u64)>;
+        let pack: Pack = vec![(0, 40), (1, 41), (2, 42)];
+        let mut c0: Consensus<Pack> =
+            Consensus::new(ConsensusConfig::ring(Pid::new(0), 3), &none());
+        let mut c1: Consensus<Pack> =
+            Consensus::new(ConsensusConfig::ring(Pid::new(1), 3), &none());
+        let mut out0 = Vec::new();
+        c0.propose(pack.clone(), &mut out0);
+        let propose = out0
+            .iter()
+            .find_map(|a| match a {
+                ConsensusAction::Multicast(m @ ConsensusMsg::Propose { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("round-1 proposal");
+        let mut out1 = Vec::new();
+        c1.on_message(Pid::new(0), propose, &mut out1);
+        let ack = ConsensusMsg::Ack { round: 1 };
+        let mut out0 = Vec::new();
+        c0.on_message(Pid::new(1), ack, &mut out0);
+        let decided = out0.iter().find_map(|a| match a {
+            ConsensusAction::Decided(v) => Some(v.clone()),
+            _ => None,
+        });
+        assert_eq!(decided, Some(pack), "the pack decides as one value");
+    }
+
+    #[test]
     fn failure_free_run_matches_figure_1() {
         // n = 3: coordinator proposes, two acks, decision.
         let mut c0 = Consensus::new(cfg(0, 3), &none());

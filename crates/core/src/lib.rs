@@ -19,6 +19,12 @@
 //!   (`L = min_i t_deliver_i − t_broadcast`) with 95% confidence
 //!   intervals over replications, fanning replications and sweep
 //!   points across all CPU cores with deterministic results;
+//! * [`RunParams::with_batching`] — adaptive message batching
+//!   ([`abcast::Batched`]): aggregate A-broadcasts into packs that
+//!   ride the stack as one wire message each;
+//! * [`find_saturation`] — deterministic bracketed search (geometric
+//!   ramp + bisection) for the max sustainable throughput `T*` of any
+//!   scenario — the knee where the paper's curves leave the chart;
 //! * [`paper`] — the exact parameter grids behind each figure of the
 //!   paper's evaluation.
 //!
@@ -37,6 +43,7 @@
 
 pub mod paper;
 mod runner;
+mod saturate;
 mod script;
 mod stats;
 mod workload;
@@ -45,6 +52,7 @@ pub use runner::{
     run_once, run_replicated, run_sweep, run_sweep_with_workers, Algorithm, Backend, RunOutput,
     RunParams, SingleRun, SweepPoint, DEFAULT_LATENCY_SAMPLE_CAP,
 };
+pub use saturate::{find_saturation, SaturationResult, SaturationSearch};
 pub use script::{CompiledScript, FaultEvent, FaultScript, ScriptAction, ScriptTime};
 pub use stats::{Reservoir, Running, Summary};
 pub use workload::{poisson_arrivals, Arrival};

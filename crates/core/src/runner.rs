@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
+use abcast::{AbcastEvent, BatchConfig, Batched, FdNode, GmNode, Pack, Uniformity};
 use neko::{
     derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, RealConfig,
     RealRuntime, Runtime, Sim, SimBuilder, Time,
@@ -89,6 +89,7 @@ pub struct RunParams {
     hb_period: Dur,
     hb_timeout: Dur,
     latency_cap: usize,
+    batching: Option<BatchConfig>,
 }
 
 impl RunParams {
@@ -110,6 +111,7 @@ impl RunParams {
             hb_period: Dur::from_millis(5),
             hb_timeout: Dur::from_millis(60),
             latency_cap: DEFAULT_LATENCY_SAMPLE_CAP,
+            batching: None,
         }
     }
 
@@ -121,6 +123,46 @@ impl RunParams {
     /// Nominal overall throughput `T` (1/s).
     pub fn throughput(&self) -> f64 {
         self.throughput
+    }
+
+    /// Replaces the nominal throughput, keeping every other dimension
+    /// — the knob [`crate::find_saturation`] turns while searching
+    /// for the knee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn with_throughput(mut self, t: f64) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "throughput must be finite and non-negative"
+        );
+        self.throughput = t;
+        self
+    }
+
+    /// Enables adaptive message batching: A-broadcast payloads are
+    /// aggregated into packs of up to [`BatchConfig::max_batch`]
+    /// payloads (flushed no later than [`BatchConfig::max_delay`]
+    /// after the first), and each pack rides the broadcast stack as
+    /// one wire message. Off by default — and when off, the run takes
+    /// the pre-batching code path bit-identically.
+    pub fn with_batching(mut self, cfg: BatchConfig) -> Self {
+        self.batching = Some(cfg);
+        self
+    }
+
+    /// Disables batching (the default; useful to undo
+    /// [`with_batching`](Self::with_batching) on a cloned parameter
+    /// set in on/off sweeps).
+    pub fn without_batching(mut self) -> Self {
+        self.batching = None;
+        self
+    }
+
+    /// The configured batching knobs, if batching is enabled.
+    pub fn batching(&self) -> Option<BatchConfig> {
+        self.batching
     }
 
     /// Sets the measurement window.
@@ -410,30 +452,74 @@ pub fn run_once(alg: Algorithm, script: &FaultScript, params: &RunParams, seed: 
     };
     let compiled = script.compile(n, params.warmup, end, seed);
     let initial = compiled.initial_suspects().clone();
-    match alg {
-        Algorithm::Fd => run_impl(
+    // With batching on, each node is wrapped in the [`Batched`] shell
+    // and the algorithm itself runs over whole packs; with batching
+    // off the pre-batching factories run unchanged (bit-identically —
+    // the golden tests pin this).
+    match (alg, params.batching) {
+        (Algorithm::Fd, None) => run_impl(
             |p| FdNode::<u64>::new(p, n, &initial),
             &compiled,
             params,
             seed,
             end,
         ),
-        Algorithm::FdNoRenumber => run_impl(
+        (Algorithm::Fd, Some(cfg)) => run_impl(
+            |p| Batched::new(p, FdNode::<Pack<u64>>::new(p, n, &initial), cfg),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        (Algorithm::FdNoRenumber, None) => run_impl(
             |p| FdNode::<u64>::new(p, n, &initial).without_renumbering(),
             &compiled,
             params,
             seed,
             end,
         ),
-        Algorithm::Gm => run_impl(
+        (Algorithm::FdNoRenumber, Some(cfg)) => run_impl(
+            |p| {
+                Batched::new(
+                    p,
+                    FdNode::<Pack<u64>>::new(p, n, &initial).without_renumbering(),
+                    cfg,
+                )
+            },
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        (Algorithm::Gm, None) => run_impl(
             |p| GmNode::<u64>::new(p, n, &initial),
             &compiled,
             params,
             seed,
             end,
         ),
-        Algorithm::GmNonUniform => run_impl(
+        (Algorithm::Gm, Some(cfg)) => run_impl(
+            |p| Batched::new(p, GmNode::<Pack<u64>>::new(p, n, &initial), cfg),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        (Algorithm::GmNonUniform, None) => run_impl(
             |p| GmNode::<u64>::with_uniformity(p, n, &initial, Uniformity::NonUniform),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        (Algorithm::GmNonUniform, Some(cfg)) => run_impl(
+            |p| {
+                Batched::new(
+                    p,
+                    GmNode::<Pack<u64>>::with_uniformity(p, n, &initial, Uniformity::NonUniform),
+                    cfg,
+                )
+            },
             &compiled,
             params,
             seed,
@@ -577,8 +663,7 @@ where
             None => undelivered += 1,
         }
     }
-    let saturated =
-        measured == 0 || (undelivered as f64) > params.saturation_frac * measured as f64;
+    let saturated = saturation_exceeded(measured, undelivered, params.saturation_frac);
     SingleRun {
         mean_latency_ms: if saturated || lat.is_empty() {
             None
@@ -641,6 +726,17 @@ where
         latencies: lat.into_iter().collect(),
         net: sim.net_stats(),
     }
+}
+
+/// The paper's sustainability predicate: a run saturates when
+/// *strictly more* than `frac × measured` messages were never
+/// delivered (or when nothing was measured at all). Exactly at the
+/// threshold the run still counts as sustained —
+/// [`SingleRun::mean_latency_ms`] flips to `None` one message past
+/// it, and [`crate::find_saturation`] brackets the knee against this
+/// same predicate.
+pub(crate) fn saturation_exceeded(measured: u64, undelivered: u64, frac: f64) -> bool {
+    measured == 0 || (undelivered as f64) > frac * measured as f64
 }
 
 /// Schedules a compiled script verbatim: injections as themselves,
@@ -930,6 +1026,115 @@ mod tests {
         let lat = out.latency.expect("late probe must still deliver");
         assert!(lat.mean() > 0.0);
         assert_eq!(out.saturated, 0);
+    }
+
+    #[test]
+    fn saturation_predicate_is_strict_at_the_threshold() {
+        // Binary-friendly numbers so `frac × measured` is exact:
+        // 8 measured at frac 0.25 tolerates exactly 2 undelivered.
+        assert!(
+            !saturation_exceeded(8, 2, 0.25),
+            "at the threshold: sustained"
+        );
+        assert!(saturation_exceeded(8, 3, 0.25), "one past: saturated");
+        assert!(saturation_exceeded(0, 0, 0.25), "nothing measured");
+        assert!(!saturation_exceeded(8, 0, 0.0), "zero tolerance, zero loss");
+        assert!(saturation_exceeded(8, 1, 0.0), "zero tolerance, any loss");
+    }
+
+    #[test]
+    fn mean_latency_flips_to_none_exactly_at_the_undelivered_threshold() {
+        // A healing partition leaves some minority broadcasts
+        // undelivered. Re-running the *same seeded run* with the
+        // tolerance set just above / just below the observed
+        // undelivered fraction must flip `mean_latency_ms` between
+        // `Some` and `None` — the threshold is sharp.
+        let script = FaultScript::healing_partition(
+            vec![vec![Pid::new(0), Pid::new(1)], vec![Pid::new(2)]],
+            Dur::from_millis(200),
+            Dur::from_millis(500),
+            Dur::from_millis(30),
+        );
+        let base = quick(3, 60.0)
+            .with_replications(1)
+            .with_drain(Dur::from_secs(2));
+        let out = run_replicated(
+            Algorithm::Fd,
+            &script,
+            &base.clone().with_saturation_frac(1.0),
+            13,
+        );
+        let (m, u) = (out.runs[0].measured, out.runs[0].undelivered);
+        assert!(u > 0, "scenario must leave something undelivered");
+        assert!(m > u);
+        let frac_above = (u as f64 + 0.5) / m as f64;
+        let frac_below = (u as f64 - 0.5) / m as f64;
+        let sustained = run_replicated(
+            Algorithm::Fd,
+            &script,
+            &base.clone().with_saturation_frac(frac_above),
+            13,
+        );
+        assert!(sustained.runs[0].mean_latency_ms.is_some());
+        assert_eq!(sustained.runs[0].undelivered, u, "same seeded run");
+        let saturated = run_replicated(
+            Algorithm::Fd,
+            &script,
+            &base.with_saturation_frac(frac_below),
+            13,
+        );
+        assert!(saturated.runs[0].mean_latency_ms.is_none());
+        assert!(saturated.mean_latency_ms().is_none(), "aggregate follows");
+    }
+
+    #[test]
+    fn batching_sustains_loads_that_saturate_unbatched() {
+        use abcast::BatchConfig;
+        // 2000/s is nearly 3× the unbatched knee (~700/s on the
+        // shared medium). With ~10 payloads per pack the wire cost
+        // per payload collapses and the same load sustains.
+        let p = quick(3, 2000.0).with_replications(2);
+        for alg in Algorithm::PAPER {
+            let unbatched = run_replicated(alg, &FaultScript::normal_steady(), &p, 21);
+            assert!(
+                unbatched.latency.is_none(),
+                "{alg:?}: 2000/s must saturate the unbatched stack"
+            );
+            let batched = run_replicated(
+                alg,
+                &FaultScript::normal_steady(),
+                &p.clone()
+                    .with_batching(BatchConfig::new(32, Dur::from_millis(10))),
+                21,
+            );
+            let lat = batched
+                .latency
+                .as_ref()
+                .unwrap_or_else(|| panic!("{alg:?}: the same load must sustain with batching"));
+            assert!(lat.mean() > 0.0);
+            assert_eq!(
+                batched.runs[0].measured, unbatched.runs[0].measured,
+                "the workload is identical; only the transport changed"
+            );
+            let wire = |o: &RunOutput| o.runs.iter().map(|r| r.net.wire_messages).sum::<u64>();
+            assert!(
+                wire(&batched) < wire(&unbatched),
+                "{alg:?}: packs must cut wire traffic: {} vs {}",
+                wire(&batched),
+                wire(&unbatched)
+            );
+        }
+    }
+
+    #[test]
+    fn batching_knob_round_trips_and_defaults_off() {
+        use abcast::BatchConfig;
+        let p = quick(3, 100.0);
+        assert_eq!(p.batching(), None);
+        let cfg = BatchConfig::new(4, Dur::from_millis(1));
+        let p = p.with_batching(cfg);
+        assert_eq!(p.batching(), Some(cfg));
+        assert_eq!(p.without_batching().batching(), None);
     }
 
     #[test]

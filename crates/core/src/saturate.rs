@@ -1,0 +1,359 @@
+//! Automated saturation search: find the knee of the
+//! latency-vs-throughput curve.
+//!
+//! The paper's central artifact is the latency curve *up to* the
+//! saturation knee — the largest throughput a configuration can
+//! sustain. Reading the knee off a fixed sweep is imprecise (the grid
+//! may straddle it by hundreds of msgs/s), so [`find_saturation`]
+//! brackets it automatically: a geometric ramp doubles the offered
+//! load until a run saturates, then bisection narrows the bracket to
+//! a relative tolerance. Sustainability is judged by the *same*
+//! undelivered-fraction predicate every steady run uses
+//! ([`RunParams::with_saturation_frac`]), via the unchanged
+//! [`run_replicated`] pipeline — so `T*` is exactly "the largest
+//! probed throughput whose replications still delivered".
+//!
+//! Every probe at a given throughput uses the same master seed, so on
+//! the simulator backend the whole search is a pure function of
+//! `(algorithm, script, params, seed, search)`: same inputs, same
+//! `T*`, bit for bit.
+
+use crate::runner::{run_replicated, Algorithm, RunOutput, RunParams};
+use crate::script::FaultScript;
+
+/// Knobs of the bracketed search.
+///
+/// ```
+/// use study::SaturationSearch;
+///
+/// let s = SaturationSearch::default().with_start(100.0).with_rel_tol(0.1);
+/// assert_eq!(s.start(), 100.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationSearch {
+    start: f64,
+    ceiling: f64,
+    rel_tol: f64,
+}
+
+impl SaturationSearch {
+    /// The initial offered load (1/s) the ramp starts from.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Sets the initial offered load (default 50/s). Pick something
+    /// comfortably sustainable; the ramp recovers from a saturated
+    /// start by halving instead of doubling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start` is finite and positive.
+    pub fn with_start(mut self, start: f64) -> Self {
+        assert!(start.is_finite() && start > 0.0, "start must be positive");
+        self.start = start;
+        self
+    }
+
+    /// The largest throughput the search will probe.
+    pub fn ceiling(&self) -> f64 {
+        self.ceiling
+    }
+
+    /// Sets the probe ceiling (default 100 000/s). A configuration
+    /// that sustains the ceiling reports `t_star == ceiling` — raise
+    /// it if that happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ceiling` is finite and positive.
+    pub fn with_ceiling(mut self, ceiling: f64) -> Self {
+        assert!(
+            ceiling.is_finite() && ceiling > 0.0,
+            "ceiling must be positive"
+        );
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// The bracket's relative width at which bisection stops.
+    pub fn rel_tol(&self) -> f64 {
+        self.rel_tol
+    }
+
+    /// Sets the stopping tolerance (default 0.05): bisection ends
+    /// once `hi / lo - 1 <= rel_tol`. Coarser tolerances cost fewer
+    /// probe runs — the ramp alone gives a factor-2 bracket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rel_tol` is positive.
+    pub fn with_rel_tol(mut self, rel_tol: f64) -> Self {
+        assert!(rel_tol > 0.0, "tolerance must be positive");
+        self.rel_tol = rel_tol;
+        self
+    }
+}
+
+impl Default for SaturationSearch {
+    fn default() -> Self {
+        SaturationSearch {
+            start: 50.0,
+            ceiling: 100_000.0,
+            rel_tol: 0.05,
+        }
+    }
+}
+
+/// What [`find_saturation`] found.
+#[derive(Clone, Debug)]
+pub struct SaturationResult {
+    /// The max sustainable throughput `T*` (1/s): the largest probed
+    /// load whose replications stayed below the undelivered-fraction
+    /// threshold. `0.0` when even the smallest probed load saturated.
+    pub t_star: f64,
+    /// The smallest probed load that saturated — the other side of
+    /// the final bracket. `None` when the ceiling itself sustained.
+    pub saturated_at: Option<f64>,
+    /// The full run output at `t_star` (latency mean/CI/percentiles
+    /// at the knee). `None` when `t_star` is zero.
+    pub at_t_star: Option<RunOutput>,
+    /// Every probed `(throughput, sustained)` pair, in probe order —
+    /// the search's audit trail.
+    pub probes: Vec<(f64, bool)>,
+}
+
+impl SaturationResult {
+    /// Width of the final bracket (1/s). `t_star` is the bracket's
+    /// *lower* edge (the largest load that demonstrably sustained),
+    /// so the true knee lies in `[t_star, t_star + bracket_width())`
+    /// — the uncertainty is one-sided, not `±`. Zero when the ceiling
+    /// itself sustained (no saturating probe bounds the knee).
+    pub fn bracket_width(&self) -> f64 {
+        self.saturated_at.map_or(0.0, |hi| hi - self.t_star)
+    }
+}
+
+/// Finds the max sustainable throughput `T*` of `alg` under `script`,
+/// with every run dimension except the throughput taken from
+/// `params`.
+///
+/// Deterministic: each probed throughput runs `run_replicated` with
+/// the same `seed`, so on the simulator backend the same inputs
+/// always return the same `T*`. The search never probes the same
+/// throughput twice.
+///
+/// # Panics
+///
+/// Panics if `script` carries a probe. A probe run measures whether
+/// *one* marked broadcast delivers before the run ends — at any
+/// over-capacity load a finite backlog still drains eventually, so
+/// "sustainable" would measure the drain window, not the throughput.
+/// To search a crash scenario's knee, use its fault timeline without
+/// the probe (e.g. [`FaultScript::crash`](FaultScript::crash) alone).
+///
+/// ```no_run
+/// use study::{find_saturation, Algorithm, FaultScript, RunParams, SaturationSearch};
+///
+/// let params = RunParams::new(3, 0.0); // throughput comes from the search
+/// let res = find_saturation(
+///     Algorithm::Fd,
+///     &FaultScript::normal_steady(),
+///     &params,
+///     1,
+///     &SaturationSearch::default(),
+/// );
+/// assert!(res.t_star > 0.0);
+/// ```
+pub fn find_saturation(
+    alg: Algorithm,
+    script: &FaultScript,
+    params: &RunParams,
+    seed: u64,
+    search: &SaturationSearch,
+) -> SaturationResult {
+    assert!(
+        !script.has_probe(),
+        "find_saturation needs a steady scenario: a probe run's sustainability \
+         reflects the drain window, not the offered load"
+    );
+    let mut probes = Vec::new();
+    let mut best: Option<(f64, RunOutput)> = None;
+    let mut probe = |t: f64, probes: &mut Vec<(f64, bool)>| {
+        let out = run_replicated(alg, script, &params.clone().with_throughput(t), seed);
+        let sustained = out.latency.is_some();
+        probes.push((t, sustained));
+        if sustained && best.as_ref().is_none_or(|(bt, _)| t > *bt) {
+            best = Some((t, out));
+        }
+        sustained
+    };
+
+    // Geometric ramp: double from `start` until a probe saturates
+    // (bracket found) or the ceiling sustains; if `start` itself
+    // saturates, halve instead until something sustains or the load
+    // drops below one message per run.
+    let floor = search.start / 1024.0;
+    let mut lo = None;
+    let mut hi = None;
+    let mut t = search.start.min(search.ceiling);
+    loop {
+        if probe(t, &mut probes) {
+            lo = Some(t);
+            if t >= search.ceiling {
+                break;
+            }
+            t = (t * 2.0).min(search.ceiling);
+        } else {
+            hi = Some(t);
+            t /= 2.0;
+        }
+        match (lo, hi) {
+            (Some(_), Some(_)) => break,
+            _ if t < floor => break,
+            _ => {}
+        }
+    }
+
+    // Bisect the bracket down to the tolerance.
+    if let (Some(mut lo), Some(mut hi)) = (lo, hi) {
+        while hi / lo - 1.0 > search.rel_tol {
+            let mid = (lo + hi) / 2.0;
+            if probe(mid, &mut probes) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    let t_star = best.as_ref().map_or(0.0, |(t, _)| *t);
+    SaturationResult {
+        t_star,
+        saturated_at: probes
+            .iter()
+            .filter(|(t, sustained)| !sustained && *t > t_star)
+            .map(|(t, _)| *t)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            }),
+        at_t_star: best.map(|(_, out)| out),
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neko::Dur;
+
+    fn quick(n: usize) -> RunParams {
+        RunParams::new(n, 0.0)
+            .with_warmup(Dur::from_millis(200))
+            .with_measure(Dur::from_millis(800))
+            .with_drain(Dur::from_millis(800))
+            .with_replications(1)
+    }
+
+    fn coarse() -> SaturationSearch {
+        SaturationSearch::default()
+            .with_start(100.0)
+            .with_ceiling(12_800.0)
+            .with_rel_tol(0.5)
+    }
+
+    #[test]
+    fn finds_a_bracketed_knee_for_the_paper_baseline() {
+        let res = find_saturation(
+            Algorithm::Fd,
+            &FaultScript::normal_steady(),
+            &quick(3),
+            0x5A7,
+            &coarse(),
+        );
+        // The paper's knee sits near 700/s on this network model; the
+        // coarse bracket must land in the right region and actually
+        // bracket (some probe above T* saturated).
+        assert!(
+            res.t_star >= 200.0 && res.t_star <= 1_600.0,
+            "t_star {} outside the plausible knee region",
+            res.t_star
+        );
+        let hi = res.saturated_at.expect("the ramp found the knee");
+        assert!(hi > res.t_star);
+        assert_eq!(res.bracket_width(), hi - res.t_star);
+        assert!(res.at_t_star.expect("best run kept").latency.is_some());
+        assert!(res.probes.len() >= 3);
+    }
+
+    #[test]
+    fn search_is_deterministic_in_the_seed() {
+        let run = || {
+            find_saturation(
+                Algorithm::Gm,
+                &FaultScript::normal_steady(),
+                &quick(3),
+                0xD0_0D,
+                &coarse(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.t_star, b.t_star);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(
+            a.at_t_star.unwrap().mean_latency_ms().map(f64::to_bits),
+            b.at_t_star.unwrap().mean_latency_ms().map(f64::to_bits),
+        );
+    }
+
+    #[test]
+    fn ceiling_that_sustains_reports_no_saturation_point() {
+        // 150/s is far below the knee: with the ceiling right there,
+        // every probe sustains.
+        let res = find_saturation(
+            Algorithm::Fd,
+            &FaultScript::normal_steady(),
+            &quick(3),
+            3,
+            &SaturationSearch::default()
+                .with_start(100.0)
+                .with_ceiling(150.0),
+        );
+        assert_eq!(res.t_star, 150.0);
+        assert!(res.saturated_at.is_none());
+        assert_eq!(res.bracket_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "steady scenario")]
+    fn probe_scripts_are_rejected() {
+        use neko::Pid;
+        let script = FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(10));
+        let _ = find_saturation(
+            Algorithm::Fd,
+            &script,
+            &quick(3),
+            1,
+            &SaturationSearch::default(),
+        );
+    }
+
+    #[test]
+    fn saturated_start_ramps_down() {
+        // Start far beyond the knee: the ramp must halve its way back
+        // into sustainable territory instead of doubling away.
+        let res = find_saturation(
+            Algorithm::Fd,
+            &FaultScript::normal_steady(),
+            &quick(3),
+            4,
+            &SaturationSearch::default()
+                .with_start(6_400.0)
+                .with_ceiling(12_800.0)
+                .with_rel_tol(0.5),
+        );
+        assert!(res.t_star > 0.0, "ramp-down found a sustainable load");
+        assert!(res.t_star < 6_400.0);
+        assert!(res.probes[0].0 == 6_400.0 && !res.probes[0].1);
+    }
+}

@@ -346,11 +346,13 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
     fn submit(&mut self, now: Time, job: SendJob<M>, fx: &mut NetFx<M>, stats: &mut NetStats) {
         if self.in_service.is_some() {
             self.queue.push_back(job);
-            stats.queue_highwater = stats.queue_highwater.max(self.queue.len() as u64);
         } else {
             self.in_service = Some(job);
             fx.schedule.push((now + self.net_delay, LinkId::SHARED));
         }
+        // Full backlog standing before the wire: the in-service job
+        // (always present here) plus everything queued behind it.
+        stats.queue_highwater = stats.queue_highwater.max(1 + self.queue.len() as u64);
     }
 
     fn complete(&mut self, now: Time, _link: LinkId, fx: &mut NetFx<M>, stats: &mut NetStats) {
@@ -435,11 +437,11 @@ impl<M: Message> Topology<M> for Switched<M> {
             };
             if link.in_service.is_some() {
                 link.queue.push_back(unicast);
-                stats.queue_highwater = stats.queue_highwater.max(link.queue.len() as u64);
             } else {
                 link.in_service = Some(unicast);
                 fx.schedule.push((now + self.net_delay, LinkId(id)));
             }
+            stats.queue_highwater = stats.queue_highwater.max(1 + link.queue.len() as u64);
         }
     }
 
@@ -564,7 +566,14 @@ pub struct NetStats {
     pub net_busy: Dur,
     /// Total CPU busy time summed over all hosts.
     pub cpu_busy: Dur,
-    /// Highwater mark of messages queued behind any single wire link.
+    /// Highwater mark of the backlog standing before any single wire
+    /// link: the message in transmission plus everything queued
+    /// behind it. A link that carried traffic but never double-queued
+    /// reports `1`, so shared-medium and switched runs are directly
+    /// comparable. Two carve-outs report `0`: [`NetworkModel::Wan`]
+    /// (unlimited capacity, never queues) and the real-time backend
+    /// ([`crate::RealRuntime`], which has no modelled wire to queue
+    /// on).
     pub queue_highwater: u64,
     /// Distinct wire links that carried at least one message.
     pub links_used: u64,
@@ -634,9 +643,10 @@ mod tests {
         let mut stats = NetStats::default();
         m.submit(Time::ZERO, job(0, &[1, 2], 7), &mut fx, &mut stats);
         m.submit(Time::ZERO, job(1, &[2], 8), &mut fx, &mut stats);
-        // Only the first job starts; the second queues.
+        // Only the first job starts; the second queues behind it —
+        // backlog 2 (one in service + one queued).
         assert_eq!(fx.schedule, vec![(Time::from_millis(1), LinkId::SHARED)]);
-        assert_eq!(stats.queue_highwater, 1);
+        assert_eq!(stats.queue_highwater, 2);
         fx.schedule.clear();
         m.complete(Time::from_millis(1), LinkId::SHARED, &mut fx, &mut stats);
         // The multicast crossed the wire once but delivers twice, and
@@ -662,7 +672,25 @@ mod tests {
         fx.schedule.clear();
         m.submit(Time::ZERO, job(0, &[1, 2], 3), &mut fx, &mut stats);
         assert_eq!(fx.schedule.len(), 1); // 0→1 busy (queued), 0→2 starts
+        assert_eq!(stats.queue_highwater, 2); // 0→1: in service + 1 queued
+    }
+
+    #[test]
+    fn queue_highwater_counts_the_in_service_job() {
+        // A network that never double-queues still carried traffic:
+        // the in-service message counts, so the highwater is 1, not 0
+        // — shared-medium and switched values stay comparable.
+        let mut shared: SharedMedium<u64> = SharedMedium::new(Dur::from_millis(1));
+        let mut fx = NetFx::default();
+        let mut stats = NetStats::default();
+        shared.submit(Time::ZERO, job(0, &[1], 7), &mut fx, &mut stats);
         assert_eq!(stats.queue_highwater, 1);
+
+        let mut switched: Switched<u64> = Switched::new(3, Dur::from_millis(1));
+        let mut stats = NetStats::default();
+        switched.submit(Time::ZERO, job(0, &[1], 7), &mut fx, &mut stats);
+        switched.submit(Time::ZERO, job(1, &[2], 8), &mut fx, &mut stats);
+        assert_eq!(stats.queue_highwater, 1, "disjoint links never stack");
     }
 
     #[test]

@@ -675,12 +675,12 @@ mod tests {
         let (shared, shared_stats) = run(NetworkModel::SharedMedium);
         assert_eq!(shared, vec![Time::from_millis(3), Time::from_millis(4)]);
         assert_eq!(shared_stats.links_used, 1);
-        assert_eq!(shared_stats.queue_highwater, 1);
+        assert_eq!(shared_stats.queue_highwater, 2);
 
         let (switched, switched_stats) = run(NetworkModel::Switched);
         assert_eq!(switched, vec![Time::from_millis(3), Time::from_millis(3)]);
         assert_eq!(switched_stats.links_used, 2);
-        assert_eq!(switched_stats.queue_highwater, 0);
+        assert_eq!(switched_stats.queue_highwater, 1);
         assert_eq!(switched_stats.net_busy, Dur::from_millis(2));
     }
 

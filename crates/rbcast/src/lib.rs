@@ -250,6 +250,31 @@ mod tests {
         SuspectSet::new()
     }
 
+    #[test]
+    fn pack_payloads_ride_as_one_broadcast() {
+        // The batching layer ships whole packs of (id, payload) pairs
+        // through this crate as a single opaque payload: one multicast
+        // on the wire however many A-broadcasts are inside, delivered
+        // intact at the far end.
+        type Pack = Vec<(u64, &'static str)>;
+        let pack: Pack = vec![(0, "a"), (1, "b"), (2, "c")];
+        let mut rb = ReliableBcast::<Pack>::new(Pid::new(0));
+        let mut out = Vec::new();
+        let id = rb.broadcast(pack.clone(), &mut out);
+        assert_eq!(out.len(), 2, "one multicast + local delivery");
+        let mut receiver = ReliableBcast::<Pack>::new(Pid::new(1));
+        let RbAction::Multicast(wire) = out[0].clone() else {
+            panic!("first action must be the multicast");
+        };
+        let mut rx_out = Vec::new();
+        receiver.on_message(Pid::new(0), wire, &no_suspects(), &mut rx_out);
+        assert_eq!(
+            rx_out,
+            vec![RbAction::Deliver { id, payload: pack }],
+            "the pack arrives whole"
+        );
+    }
+
     fn data_of<M: Clone + fmt::Debug>(actions: &[RbAction<M>]) -> Vec<BcastId> {
         actions
             .iter()

@@ -1,0 +1,173 @@
+//! End-to-end tests of the adaptive batching layer: packs must be
+//! invisible to the atomic-broadcast contract — agreement, total
+//! order, no duplication, validity all hold on the *payloads* — while
+//! visibly cutting wire traffic and moving the saturation knee.
+
+use abcast::{AbcastEvent, BatchConfig, Batched, FdNode, GmNode, MsgId, Pack};
+use fdet::SuspectSet;
+use neko::{Dur, Pid, Process, SimBuilder, Time};
+use study::{
+    find_saturation, poisson_arrivals, run_replicated, Algorithm, FaultScript, RunParams,
+    SaturationSearch,
+};
+
+/// Drives a seeded Poisson workload through a sim of batched nodes
+/// and returns the per-process delivery logs.
+fn drive<P>(make: impl FnMut(Pid) -> P, n: usize, seed: u64) -> Vec<Vec<(MsgId, u64)>>
+where
+    P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
+{
+    let horizon = Time::from_millis(800);
+    let mut sim = SimBuilder::new(n).seed(seed).build_with(make);
+    let senders: Vec<Pid> = Pid::all(n).collect();
+    for (t, p, v) in poisson_arrivals(n, 400.0, horizon, &senders, seed) {
+        sim.schedule_command(t, p, v);
+    }
+    sim.run_until(horizon + Dur::from_millis(500));
+    let mut logs = vec![Vec::new(); n];
+    for (_, p, ev) in sim.take_outputs() {
+        let AbcastEvent::Delivered { id, payload } = ev;
+        logs[p.index()].push((id, payload));
+    }
+    logs
+}
+
+/// Agreement + total order (identical logs in a fault-free run) + no
+/// duplication + validity (everything broadcast is delivered).
+fn assert_invariants(logs: &[Vec<(MsgId, u64)>], expected: usize, label: &str) {
+    for (i, log) in logs.iter().enumerate() {
+        assert_eq!(
+            log,
+            &logs[0],
+            "{label}: p{}'s delivery order differs from p1's",
+            i + 1
+        );
+        let ids: std::collections::BTreeSet<MsgId> = log.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), log.len(), "{label}: duplicate ids at p{}", i + 1);
+        let payloads: std::collections::BTreeSet<u64> = log.iter().map(|(_, v)| *v).collect();
+        assert_eq!(
+            payloads.len(),
+            expected,
+            "{label}: p{} missed payloads",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn batched_fd_upholds_the_abcast_contract() {
+    let n = 3;
+    let suspects = SuspectSet::new();
+    let cfg = BatchConfig::new(8, Dur::from_millis(3));
+    let logs = drive(
+        |p| Batched::new(p, FdNode::<Pack<u64>>::new(p, n, &suspects), cfg),
+        n,
+        0xBA7C01,
+    );
+    let total = logs[0].len();
+    assert!(total > 100, "workload must be non-trivial: {total}");
+    assert_invariants(&logs, total, "batched FD");
+}
+
+#[test]
+fn batched_gm_upholds_the_abcast_contract() {
+    let n = 3;
+    let suspects = SuspectSet::new();
+    let cfg = BatchConfig::new(8, Dur::from_millis(3));
+    let logs = drive(
+        |p| Batched::new(p, GmNode::<Pack<u64>>::new(p, n, &suspects), cfg),
+        n,
+        0xBA7C02,
+    );
+    let total = logs[0].len();
+    assert!(total > 100, "workload must be non-trivial: {total}");
+    assert_invariants(&logs, total, "batched GM");
+}
+
+#[test]
+fn batched_and_unbatched_deliver_the_same_payload_set() {
+    let n = 3;
+    let suspects = SuspectSet::new();
+    let unbatched = drive(|p| FdNode::<u64>::new(p, n, &suspects), n, 0xBA7C03);
+    let cfg = BatchConfig::new(8, Dur::from_millis(3));
+    let batched = drive(
+        |p| Batched::new(p, FdNode::<Pack<u64>>::new(p, n, &suspects), cfg),
+        n,
+        0xBA7C03,
+    );
+    let payloads = |logs: &[Vec<(MsgId, u64)>]| {
+        logs[0]
+            .iter()
+            .map(|(_, v)| *v)
+            .collect::<std::collections::BTreeSet<u64>>()
+    };
+    assert_eq!(
+        payloads(&unbatched),
+        payloads(&batched),
+        "same seeded workload, same delivered set — batching only repacks the wire"
+    );
+}
+
+#[test]
+fn batching_survives_crash_recovery() {
+    // A batched stack under the crash-recover script: the recovered
+    // process rejoins (its pre-crash buffered payloads reflushed via
+    // `on_recover`) and the run must not saturate.
+    let script = FaultScript::crash_recover(
+        Pid::new(2),
+        Dur::from_millis(200),
+        Dur::from_millis(600),
+        Dur::from_millis(30),
+    );
+    let params = RunParams::new(3, 50.0)
+        .with_warmup(Dur::from_millis(200))
+        .with_measure(Dur::from_secs(2))
+        .with_drain(Dur::from_secs(1))
+        .with_replications(2)
+        .with_batching(BatchConfig::new(4, Dur::from_millis(5)));
+    for alg in Algorithm::PAPER {
+        let out = run_replicated(alg, &script, &params, 0xBA7C04);
+        let lat = out
+            .latency
+            .unwrap_or_else(|| panic!("{alg:?} saturated under batching + churn"));
+        assert!(lat.mean() > 0.0, "{alg:?}");
+        assert_eq!(out.saturated, 0, "{alg:?}");
+    }
+}
+
+#[test]
+fn batching_raises_the_saturation_knee_on_the_shared_medium() {
+    // The acceptance bar of the batching study, pinned as a test:
+    // T*(batched) must beat T*(unbatched) on the paper's topology.
+    let params = RunParams::new(3, 0.0)
+        .with_warmup(Dur::from_millis(200))
+        .with_measure(Dur::from_millis(800))
+        .with_drain(Dur::from_millis(800))
+        .with_replications(1);
+    let search = SaturationSearch::default()
+        .with_start(200.0)
+        .with_ceiling(12_800.0)
+        .with_rel_tol(0.5);
+    let unbatched = find_saturation(
+        Algorithm::Fd,
+        &FaultScript::normal_steady(),
+        &params,
+        0xBA7C05,
+        &search,
+    );
+    let batched = find_saturation(
+        Algorithm::Fd,
+        &FaultScript::normal_steady(),
+        &params
+            .clone()
+            .with_batching(BatchConfig::new(32, Dur::from_millis(10))),
+        0xBA7C05,
+        &search,
+    );
+    assert!(
+        batched.t_star >= unbatched.t_star * 2.0,
+        "batching must at least double the knee: {} vs {}",
+        batched.t_star,
+        unbatched.t_star
+    );
+}
