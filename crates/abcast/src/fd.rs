@@ -107,6 +107,11 @@ pub struct FdAbcast<P: Payload> {
     last_probe: Option<ProgressSig>,
     /// Consecutive probes with a frozen signature.
     stalled_probes: u32,
+    /// Local arrival order of pending messages — only consulted by
+    /// the `mutation-skip-tiebreak` self-check build (see
+    /// [`Self::apply_ready_decisions`]).
+    #[cfg(feature = "mutation-skip-tiebreak")]
+    arrival: Vec<MsgId>,
 }
 
 impl<P: Payload> FdAbcast<P> {
@@ -129,6 +134,8 @@ impl<P: Payload> FdAbcast<P> {
             suspects: suspects.clone(),
             last_probe: None,
             stalled_probes: 0,
+            #[cfg(feature = "mutation-skip-tiebreak")]
+            arrival: Vec::new(),
         }
     }
 
@@ -303,6 +310,10 @@ impl<P: Payload> FdAbcast<P> {
                     payload: (id, p), ..
                 } => {
                     if !self.delivered.contains(&id) {
+                        #[cfg(feature = "mutation-skip-tiebreak")]
+                        if !self.pending.contains_key(&id) {
+                            self.arrival.push(id);
+                        }
                         self.pending.insert(id, p);
                         self.ensure_instance(out);
                     }
@@ -373,6 +384,29 @@ impl<P: Payload> FdAbcast<P> {
 
     fn apply_ready_decisions(&mut self, out: &mut Vec<FdCastAction<P>>) {
         while let Some(batch) = self.decisions_ahead.remove(&self.k) {
+            // SELF-CHECK MUTATION ("the oracle has teeth"): with the
+            // `mutation-skip-tiebreak` feature the paper's tie-break
+            // — deliver a decided batch "according to the order of
+            // their IDs" (Section 4.1) — is deliberately skipped in
+            // favour of *local arrival order*, which differs between
+            // processes whenever broadcasts race. The decided value
+            // is still agreed; only the delivery order inside the
+            // batch diverges, exactly the class of bug the schedule
+            // explorer must catch and shrink (tests/explore.rs pins
+            // that it does). Never enable this feature outside that
+            // self-check.
+            #[cfg(feature = "mutation-skip-tiebreak")]
+            let batch = {
+                let mut batch = batch;
+                let pos = |id: &MsgId| {
+                    self.arrival
+                        .iter()
+                        .position(|a| a == id)
+                        .unwrap_or(usize::MAX)
+                };
+                batch.msgs.sort_by_key(|(id, _)| (pos(id), *id));
+                batch
+            };
             for (id, p) in batch.msgs {
                 if self.delivered.insert(id) {
                     self.pending.remove(&id);
@@ -389,17 +423,26 @@ impl<P: Payload> FdAbcast<P> {
             }
             self.k += 1;
             // Drain consensus traffic that arrived early for the new
-            // instance, then propose what is still pending.
-            if let Some(msgs) = self.future.remove(&self.k) {
+            // instance. The instance number is pinned *outside* the
+            // loop: processing one buffered message can decide this
+            // instance and advance `self.k` (decisions already queued
+            // in `decisions_ahead` chain-apply), and feeding the
+            // remaining buffered messages — e.g. a second copy of the
+            // decision, from the relay — into the *new* current
+            // instance would decide it with the old instance's value
+            // and silently diverge from the group. (Found by the
+            // schedule explorer; pinned by
+            // `buffered_duplicate_decision_stays_in_its_instance`.)
+            let drained_k = self.k;
+            if let Some(msgs) = self.future.remove(&drained_k) {
                 self.ensure_instance(out);
                 for (from, inner) in msgs {
-                    let k = self.k;
-                    let Some(inst) = self.instances.get_mut(&k) else {
+                    let Some(inst) = self.instances.get_mut(&drained_k) else {
                         continue;
                     };
                     let mut cons_out = Vec::new();
                     inst.on_message(from, inner, &mut cons_out);
-                    self.pump_cons(k, cons_out, out);
+                    self.pump_cons(drained_k, cons_out, out);
                 }
             }
             self.ensure_instance(out);
@@ -548,6 +591,131 @@ mod tests {
         let s = SuspectSet::new();
         let a = FdAbcast::<u32>::new(Pid::new(0), 3, &s).without_renumbering();
         assert!(!a.renumbering);
+    }
+
+    /// Routes among p1 ↔ p2 only; traffic addressed to p3 is captured
+    /// for manual replay (p3 is cut off and lagging).
+    fn route_capture(
+        from: usize,
+        out: Vec<A>,
+        queue: &mut Vec<(usize, usize, FdCastMsg<u32>)>,
+        to_p3: &mut Vec<(usize, FdCastMsg<u32>)>,
+        delivered: &mut [Vec<(MsgId, u32)>],
+    ) {
+        for a in out {
+            match a {
+                FdCastAction::Send(to, m) => {
+                    if to.index() == 2 {
+                        to_p3.push((from, m));
+                    } else {
+                        queue.push((from, to.index(), m));
+                    }
+                }
+                FdCastAction::Multicast(m) => {
+                    for to in 0..3 {
+                        if to == from {
+                            continue;
+                        }
+                        if to == 2 {
+                            to_p3.push((from, m.clone()));
+                        } else {
+                            queue.push((from, to, m.clone()));
+                        }
+                    }
+                }
+                FdCastAction::Deliver { id, payload } => delivered[from].push((id, payload)),
+            }
+        }
+    }
+
+    /// Regression for a total-order violation found by the schedule
+    /// explorer (`study::explore`): a lagging process buffers early
+    /// consensus traffic per instance in `future`. Draining that
+    /// buffer can *decide* the instance and chain-advance `k`; the
+    /// remaining buffered messages — here a second copy of the
+    /// instance's decision, as the relay produces — must still go to
+    /// the instance they were buffered for. Before the fix they were
+    /// fed to the new current instance, which then "decided" with the
+    /// old instance's value and silently diverged from the group.
+    #[test]
+    fn buffered_duplicate_decision_stays_in_its_instance() {
+        let mut ns = nodes(3);
+        let mut to_p3: Vec<(usize, FdCastMsg<u32>)> = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        // Instances 1 and 2 decide among p1 and p2 while p3 hears
+        // nothing (quorum 2 of 3 suffices).
+        for (origin, v) in [(0usize, 10u32), (1, 20)] {
+            let mut out = Vec::new();
+            ns[origin].broadcast(v, &mut out);
+            let mut queue = Vec::new();
+            route_capture(origin, out, &mut queue, &mut to_p3, &mut delivered);
+            let mut steps = 0;
+            while !queue.is_empty() {
+                steps += 1;
+                assert!(steps < 100_000, "no quiescence");
+                let (from, to, m) = queue.remove(0);
+                let mut out = Vec::new();
+                ns[to].on_message(Pid::new(from), m, &mut out);
+                route_capture(to, out, &mut queue, &mut to_p3, &mut delivered);
+            }
+        }
+        assert_eq!(ns[0].instance(), 3);
+        assert_eq!(ns[0].delivered_log(), ns[1].delivered_log());
+        assert_eq!(ns[0].delivered_log().len(), 2);
+
+        // What the wire holds for p3: the rb payloads and each
+        // instance's decision.
+        let datas: Vec<(usize, FdCastMsg<u32>)> = to_p3
+            .iter()
+            .filter(|(_, m)| matches!(m, FdCastMsg::Data(_)))
+            .cloned()
+            .collect();
+        let decide = |k: u64| {
+            to_p3
+                .iter()
+                .find(|(_, m)| {
+                    matches!(
+                        m,
+                        FdCastMsg::Cons { k: kk, inner: ConsensusMsg::Decide(_) } if *kk == k
+                    )
+                })
+                .cloned()
+                .unwrap_or_else(|| panic!("instance {k}'s decision crossed the wire"))
+        };
+        let (f1, d1) = decide(1);
+        let (f2, d2) = decide(2);
+
+        // p3 receives the payloads, A-broadcasts one of its own (so it
+        // keeps something pending), then gets instance 2's decision
+        // twice — multicast plus relay copy — while still at instance
+        // 1, and finally instance 1's decision.
+        let mut out = Vec::new();
+        for (from, m) in datas {
+            ns[2].on_message(Pid::new(from), m, &mut out);
+        }
+        ns[2].broadcast(30, &mut out);
+        ns[2].on_message(Pid::new(f2), d2.clone(), &mut out);
+        ns[2].on_message(Pid::new(f2), d2, &mut out);
+        ns[2].on_message(Pid::new(f1), d1, &mut out);
+
+        // p3 catches up in the group's exact order …
+        let p3_deliveries: Vec<MsgId> = out
+            .iter()
+            .filter_map(|a| match a {
+                FdCastAction::Deliver { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(p3_deliveries, ns[0].delivered_log());
+        assert_eq!(ns[2].delivered_log(), ns[0].delivered_log());
+        // … and the duplicate decision copy must not have fabricated a
+        // decision for instance 3 (whose real batch is still open).
+        assert_eq!(
+            ns[2].instance(),
+            3,
+            "a duplicate buffered decision must stay in its own instance"
+        );
+        assert_eq!(ns[2].pending(), 1, "p3's own broadcast is still undecided");
     }
 
     #[test]

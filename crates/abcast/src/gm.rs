@@ -50,16 +50,28 @@ pub enum Uniformity {
 
 /// The unstable-message bundle exchanged at view changes: payloads
 /// plus their sequence number, if one was assigned in the closing
-/// view.
+/// view, and the contributor's in-view delivery pointer.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
-pub struct Bundle<P>(pub BTreeMap<MsgId, (Option<u64>, P)>);
+pub struct Bundle<P> {
+    /// The unstable messages: `(assigned sn, payload)` per id.
+    pub msgs: BTreeMap<MsgId, (Option<u64>, P)>,
+    /// One past the highest sn the contributor had A-delivered in the
+    /// closing view. Merging keeps the maximum: every sn below the
+    /// merged horizon was delivered *by some contributor*, so a
+    /// member that still holds such a message (stable entries are
+    /// pruned from the contributors' bundles, but stability means
+    /// everyone holds them) must deliver it at the view boundary —
+    /// while a held message at or above the horizon was delivered by
+    /// nobody and must wait for its origin to re-send it.
+    pub delivered_sn: u64,
+}
 
 impl<P: Payload> Unstable for Bundle<P> {
     fn merge(&mut self, other: &Self) {
-        for (id, (sn, p)) in &other.0 {
-            match self.0.get_mut(id) {
+        for (id, (sn, p)) in &other.msgs {
+            match self.msgs.get_mut(id) {
                 None => {
-                    self.0.insert(*id, (*sn, p.clone()));
+                    self.msgs.insert(*id, (*sn, p.clone()));
                 }
                 Some(entry) => {
                     // A sequence number is assigned once per view, so a
@@ -70,6 +82,7 @@ impl<P: Payload> Unstable for Bundle<P> {
                 }
             }
         }
+        self.delivered_sn = self.delivered_sn.max(other.delivered_sn);
     }
 }
 
@@ -212,6 +225,10 @@ pub struct GmAbcast<P: Payload> {
     catching_up: bool,
     catchup_buf: Vec<(Pid, GmCastMsg<P>)>,
     future_inview: BTreeMap<ViewId, Vec<(Pid, GmCastMsg<P>)>>,
+    /// View-change progress signature at the last repair probe.
+    last_vc_probe: Option<(ViewId, Option<membership::VcSnapshot>)>,
+    /// Consecutive probes with a frozen in-progress view change.
+    stalled_vc_probes: u32,
 }
 
 impl<P: Payload> GmAbcast<P> {
@@ -242,6 +259,8 @@ impl<P: Payload> GmAbcast<P> {
             catching_up: false,
             catchup_buf: Vec::new(),
             future_inview: BTreeMap::new(),
+            last_vc_probe: None,
+            stalled_vc_probes: 0,
         }
     }
 
@@ -280,6 +299,37 @@ impl<P: Payload> GmAbcast<P> {
     /// Whether a view change is currently in progress.
     pub fn in_view_change(&self) -> bool {
         self.gm.in_view_change()
+    }
+
+    /// Periodic view-change repair probe. Call at a coarse interval
+    /// (the [`crate::GmNode`] shell uses a timer): when a view change
+    /// has made *no* observable progress since the last probe, re-send
+    /// our flush exchange and the view-change consensus's directed
+    /// state ([`membership::Membership::vc_resend`]) — unwedging a
+    /// member-to-be that missed the flush and cross-round consensus
+    /// stalls. Quiet whenever no view change is in progress or it is
+    /// progressing, so healthy runs are untouched.
+    pub fn vc_probe(&mut self, out: &mut Vec<GmCastAction<P>>) {
+        let sig = (self.gm.view().id(), self.gm.debug_vc());
+        let stalled = self.gm.in_view_change() && self.last_vc_probe.as_ref() == Some(&sig);
+        self.last_vc_probe = Some(sig);
+        if stalled {
+            self.stalled_vc_probes += 1;
+        } else {
+            self.stalled_vc_probes = 0;
+        }
+        // Two consecutive frozen probes (≥ 2 intervals of zero
+        // progress) separate a genuine wedge from a view change that
+        // is merely slow under load.
+        if self.stalled_vc_probes < 2 {
+            return;
+        }
+        // Believe straggler Welcomes from here on: our copy of the
+        // view-change decision is apparently lost.
+        self.gm.arm_stale_jump();
+        let mut gm_out = Vec::new();
+        self.gm.vc_resend(&mut gm_out);
+        self.process_gm(gm_out, out);
     }
 
     fn is_sequencer(&self) -> bool {
@@ -332,9 +382,21 @@ impl<P: Payload> GmAbcast<P> {
 
     /// Handles a failure-detector edge.
     pub fn on_fd(&mut self, ev: FdEvent, out: &mut Vec<GmCastAction<P>>) {
-        let Self { gm, store, .. } = self;
+        let Self {
+            gm,
+            store,
+            delivered_sn,
+            ..
+        } = self;
         let mut gm_out = Vec::new();
-        gm.on_fd(ev, &mut || Bundle(store.clone()), &mut gm_out);
+        gm.on_fd(
+            ev,
+            &mut || Bundle {
+                msgs: store.clone(),
+                delivered_sn: *delivered_sn,
+            },
+            &mut gm_out,
+        );
         self.process_gm(gm_out, out);
     }
 
@@ -347,6 +409,19 @@ impl<P: Payload> GmAbcast<P> {
             self.catchup_buf.push((from, msg));
             return;
         }
+        // The flush barrier: once a view change is in progress, the
+        // unstable bundles are already snapshotted (ours went out with
+        // our `Flush`), so any in-view delivery progress made *after*
+        // that point would be invisible to the agreed bundle — a
+        // lagging member would then flush those messages in a
+        // different order than the members that delivered them mid-
+        // change (total-order violation; found by the schedule
+        // explorer, pinned by `tests/explore.rs`). Sequencing, acking
+        // and delivering freeze until the new view installs; the
+        // flush delivers the agreed bundle instead, and `Data` is
+        // still accepted so origins can re-send undelivered payloads
+        // in the new view.
+        let frozen = self.gm.in_view_change();
         match msg {
             GmCastMsg::Data { view, id, payload } => match self.classify(view) {
                 ViewRelation::Current => self.handle_data(id, payload, out),
@@ -356,14 +431,15 @@ impl<P: Payload> GmAbcast<P> {
                 ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::Seq { view, sns } => match self.classify(view) {
-                ViewRelation::Current => self.handle_seq(sns, out),
+                ViewRelation::Current if !frozen => self.handle_seq(sns, out),
+                ViewRelation::Current => {}
                 ViewRelation::Future => {
                     self.buffer_future(view, from, GmCastMsg::Seq { view, sns })
                 }
                 ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::AckSn { view, sns } => {
-                if self.classify(view) == ViewRelation::Current && self.is_sequencer() {
+                if self.classify(view) == ViewRelation::Current && self.is_sequencer() && !frozen {
                     for sn in sns {
                         self.note_ack(sn, from);
                     }
@@ -371,7 +447,7 @@ impl<P: Payload> GmAbcast<P> {
                 }
             }
             GmCastMsg::AckUpTo { view, up_to } => {
-                if self.classify(view) == ViewRelation::Current && self.is_sequencer() {
+                if self.classify(view) == ViewRelation::Current && self.is_sequencer() && !frozen {
                     let cum = self.ack_cum.entry(from).or_insert(0);
                     *cum = (*cum).max(up_to);
                     self.advance_cumulative_stability();
@@ -383,12 +459,13 @@ impl<P: Payload> GmAbcast<P> {
                 sns,
                 stable_up_to,
             } => match self.classify(view) {
-                ViewRelation::Current => {
+                ViewRelation::Current if !frozen => {
                     self.deliverable.extend(sns.iter().copied());
                     self.stable_up_to = self.stable_up_to.max(stable_up_to);
                     self.try_deliver(out);
                     self.prune_stable();
                 }
+                ViewRelation::Current => {}
                 ViewRelation::Future => self.buffer_future(
                     view,
                     from,
@@ -401,9 +478,22 @@ impl<P: Payload> GmAbcast<P> {
                 ViewRelation::Past => self.notify_stale(from, out),
             },
             GmCastMsg::Gm(m) => {
-                let Self { gm, store, .. } = self;
+                let Self {
+                    gm,
+                    store,
+                    delivered_sn,
+                    ..
+                } = self;
                 let mut gm_out = Vec::new();
-                gm.on_message(from, m, &mut || Bundle(store.clone()), &mut gm_out);
+                gm.on_message(
+                    from,
+                    m,
+                    &mut || Bundle {
+                        msgs: store.clone(),
+                        delivered_sn: *delivered_sn,
+                    },
+                    &mut gm_out,
+                );
                 self.process_gm(gm_out, out);
             }
             GmCastMsg::StateReq { from_index } => {
@@ -452,6 +542,12 @@ impl<P: Payload> GmAbcast<P> {
         }
         let sn = self.assigned.get(&id).copied();
         self.store.insert(id, (sn, payload));
+        if self.gm.in_view_change() {
+            // Flush barrier: record the payload (the origin re-sends
+            // undelivered ones in the next view) but make no ack or
+            // delivery progress the snapshotted bundles cannot see.
+            return;
+        }
         if let Some(sn) = sn {
             // Seq arrived before Data: we can ack (and maybe deliver) now.
             self.complete_pair(sn, out);
@@ -701,8 +797,38 @@ impl<P: Payload> GmAbcast<P> {
                     out.push(GmCastAction::Multicast(dests, GmCastMsg::Gm(m)))
                 }
                 GmAction::Install { view, unstable, .. } => self.apply_install(view, unstable, out),
-                GmAction::Excluded { .. } => out.push(GmCastAction::JoinNeeded),
+                GmAction::Excluded { .. } => {
+                    // Our own undelivered broadcasts would die with the
+                    // old view's store (the rejoin resets it); queue
+                    // them for re-issue once we are readmitted and
+                    // caught up — the state transfer marks the ones
+                    // the group delivered without us, and the rest go
+                    // out again under their original ids.
+                    let mine: Vec<(MsgId, P)> = self
+                        .store
+                        .iter()
+                        .filter(|(id, _)| id.origin == self.me && !self.delivered_ids.contains(id))
+                        .map(|(id, (_, p))| (*id, p.clone()))
+                        .collect();
+                    self.unsent.extend(mine);
+                    out.push(GmCastAction::JoinNeeded)
+                }
                 GmAction::Readmitted { view } => {
+                    // A member that fell a whole view behind adopts
+                    // the newer view through this same path without
+                    // passing through `Excluded` — save our own
+                    // undelivered broadcasts from the state reset.
+                    let mine: Vec<(MsgId, P)> = self
+                        .store
+                        .iter()
+                        .filter(|(id, _)| id.origin == self.me && !self.delivered_ids.contains(id))
+                        .map(|(id, (_, p))| (*id, p.clone()))
+                        .collect();
+                    for (id, p) in mine {
+                        if !self.unsent.iter().any(|(uid, _)| *uid == id) {
+                            self.unsent.push((id, p));
+                        }
+                    }
                     self.catching_up = true;
                     self.reset_view_state();
                     for m in view.others(self.me) {
@@ -719,9 +845,20 @@ impl<P: Payload> GmAbcast<P> {
         }
         // Driving contract of the membership machine.
         while self.gm.needs_poll() {
-            let Self { gm, store, .. } = self;
+            let Self {
+                gm,
+                store,
+                delivered_sn,
+                ..
+            } = self;
             let mut gm_out = Vec::new();
-            gm.poll(&mut || Bundle(store.clone()), &mut gm_out);
+            gm.poll(
+                &mut || Bundle {
+                    msgs: store.clone(),
+                    delivered_sn: *delivered_sn,
+                },
+                &mut gm_out,
+            );
             self.process_gm(gm_out, out);
         }
     }
@@ -732,13 +869,38 @@ impl<P: Payload> GmAbcast<P> {
         //    every member delivers the same list).
         let mut with_sn: Vec<(u64, MsgId, P)> = Vec::new();
         let mut without: Vec<(MsgId, P)> = Vec::new();
-        for (id, (sn, p)) in unstable.0 {
+        let mut bundled: BTreeSet<MsgId> = BTreeSet::new();
+        let horizon = unstable.delivered_sn;
+        for (id, (sn, p)) in unstable.msgs {
+            bundled.insert(id);
             if self.delivered_ids.contains(&id) {
                 continue;
             }
             match sn {
                 Some(sn) => with_sn.push((sn, id, p)),
                 None => without.push((id, p)),
+            }
+        }
+        // Our own sequenced holdings *below the merged delivery
+        // horizon* join the flush even when absent from the agreed
+        // bundle. Such a message was A-delivered by some contributor
+        // (that is what the horizon says) yet every contributor's
+        // bundle lacks it — which can only mean they pruned it, and
+        // pruning requires stability: the whole view acked, so
+        // *everyone* (including us) holds Data+Seq. If our in-view
+        // delivery lagged behind the sequencer's announcements when
+        // the view closed, dropping our copy would leave a permanent
+        // hole in our log (total-order violation; found by the
+        // schedule explorer, pinned by `tests/explore.rs`). Holdings
+        // at or above the horizon were delivered by nobody and stay
+        // out — delivering them here alone would be the opposite
+        // divergence — as do unsequenced holdings; their origins
+        // re-send them in the new view (step 2).
+        for (id, (sn, p)) in &self.store {
+            if let Some(sn) = sn {
+                if *sn < horizon && !bundled.contains(id) && !self.delivered_ids.contains(id) {
+                    with_sn.push((*sn, *id, p.clone()));
+                }
             }
         }
         with_sn.sort();
@@ -823,6 +985,16 @@ impl<P: Payload> GmAbcast<P> {
         for (from, m) in buffered {
             self.on_message(from, m, out);
         }
+        // In-view traffic of the adopted view that arrived while we
+        // were still excluded (buffered by `classify`): the rejoin
+        // path installs no view, so drain it here.
+        let current = self.gm.view().id();
+        if let Some(buffered) = self.future_inview.remove(&current) {
+            for (from, m) in buffered {
+                self.on_message(from, m, out);
+            }
+        }
+        self.future_inview.retain(|v, _| *v > current);
         // Re-issue our still-undelivered messages.
         let mine = std::mem::take(&mut self.unsent);
         for (id, p) in mine {
@@ -838,9 +1010,20 @@ impl<P: Payload> GmAbcast<P> {
 
     fn classify(&self, view: ViewId) -> ViewRelation {
         if !self.gm.is_member() {
-            // Excluded processes take no part in in-view traffic; the
-            // state transfer covers the gap.
-            return ViewRelation::Past;
+            // Excluded processes take no part in their stale view's
+            // in-view traffic — the state transfer covers that gap —
+            // but traffic of a *newer* view may be addressed to the
+            // member we are about to become (our Welcome is still in
+            // flight); dropping it would lose the payload for good
+            // (found by the schedule explorer: a healthy member's
+            // broadcast reached the rejoining sequencer-to-be as
+            // "stale" and was never sequenced). Buffer it like any
+            // future-view traffic.
+            return if view > self.gm.view().id() {
+                ViewRelation::Future
+            } else {
+                ViewRelation::Past
+            };
         }
         match view.cmp(&self.gm.view().id()) {
             std::cmp::Ordering::Less => ViewRelation::Past,

@@ -19,6 +19,7 @@ pub const RETRY_INTERVAL: Dur = Dur::from_millis(10);
 const TAG_JOIN_RETRY: u64 = 1;
 const TAG_CATCHUP_RETRY: u64 = 2;
 const TAG_STALL_PROBE: u64 = 3;
+const TAG_VC_PROBE: u64 = 4;
 
 /// How often an [`FdNode`] checks its oldest undecided consensus
 /// instance for a stall (lost messages after a crash-recovery or a
@@ -171,11 +172,19 @@ impl<P: Payload> Process for FdNode<P> {
     }
 }
 
+/// How often a [`GmNode`] checks an in-progress view change for a
+/// stall (a flush or consensus message lost toward a member that had
+/// not yet adopted the view, or a cross-round consensus wedge).
+/// Coarse on purpose: a progressing view change resets the probe, so
+/// healthy runs see no repair traffic at all.
+pub const VC_PROBE_INTERVAL: Dur = Dur::from_millis(50);
+
 /// A process running the **GM algorithm** (fixed-sequencer atomic
 /// broadcast over group membership).
 #[derive(Debug)]
 pub struct GmNode<P: Payload> {
     inner: GmAbcast<P>,
+    vc_probe_timer: Option<TimerId>,
 }
 
 impl<P: Payload> GmNode<P> {
@@ -193,7 +202,15 @@ impl<P: Payload> GmNode<P> {
     ) -> Self {
         GmNode {
             inner: GmAbcast::new(me, n, suspects_at_start, uniformity),
+            vc_probe_timer: None,
         }
+    }
+
+    fn arm_vc_probe(&mut self, ctx: &mut dyn Ctx<GmCastMsg<P>, AbcastEvent<P>>) {
+        if let Some(id) = self.vc_probe_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.vc_probe_timer = Some(ctx.set_timer(VC_PROBE_INTERVAL, TAG_VC_PROBE));
     }
 
     /// The wrapped state machine (inspection in tests/examples).
@@ -232,6 +249,10 @@ impl<P: Payload> Process for GmNode<P> {
     type Cmd = P;
     type Out = AbcastEvent<P>;
 
+    fn on_start(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        self.arm_vc_probe(ctx);
+    }
+
     fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
         let mut out = Vec::new();
         self.inner.broadcast(cmd, &mut out);
@@ -253,6 +274,7 @@ impl<P: Payload> Process for GmNode<P> {
     fn on_recover(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
         // Retry timers armed before the crash are gone; restart
         // whatever loop our pre-crash state still needs.
+        self.arm_vc_probe(ctx);
         let mut out = Vec::new();
         if self.inner.is_excluded() {
             self.inner.request_join(&mut out);
@@ -263,7 +285,7 @@ impl<P: Payload> Process for GmNode<P> {
         self.run(out, ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, _id: TimerId, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
         let mut out = Vec::new();
         match tag {
             TAG_JOIN_RETRY if self.inner.is_excluded() => {
@@ -273,6 +295,10 @@ impl<P: Payload> Process for GmNode<P> {
             TAG_CATCHUP_RETRY if self.inner.is_catching_up() => {
                 self.inner.request_state(&mut out);
                 ctx.set_timer(RETRY_INTERVAL, TAG_CATCHUP_RETRY);
+            }
+            TAG_VC_PROBE if self.vc_probe_timer == Some(id) => {
+                self.inner.vc_probe(&mut out);
+                self.arm_vc_probe(ctx);
             }
             _ => {}
         }

@@ -208,6 +208,23 @@ impl<V: Value> Consensus<V> {
                     },
                 ));
             }
+            // Coordinator still collecting estimates in a later round:
+            // a peer wedged in an *older* round (its stale messages to
+            // us are dropped, our round change never reached it) will
+            // never send the estimate we wait for — drag it forward.
+            // `Skip(round − 1)` makes it enter our round and send its
+            // estimate; abandoning an old round is always safe (the
+            // locking is carried by the estimate timestamps).
+            Phase::CollectEstimates
+                if self.coordinator(self.round) == self.me && self.round > 1 =>
+            {
+                out.push(ConsensusAction::Send(
+                    p,
+                    ConsensusMsg::Skip {
+                        round: self.round - 1,
+                    },
+                ));
+            }
             // Participant toward its coordinator: it may have missed
             // our estimate (rounds > 1) or our ack.
             Phase::AwaitPropose | Phase::AwaitDecision if self.coordinator(self.round) == p => {

@@ -25,6 +25,13 @@
 //! * [`find_saturation`] — deterministic bracketed search (geometric
 //!   ramp + bisection) for the max sustainable throughput `T*` of any
 //!   scenario — the knee where the paper's curves leave the chart;
+//! * [`oracle`] — the reusable atomic-broadcast invariant checker
+//!   (agreement, total order, integrity, validity with a quiescence
+//!   deadline) shared by the test suites and the explorer;
+//! * [`explore`] — the adversarial schedule explorer: deterministic
+//!   fuzzing over (schedule seed × fault script × algorithm ×
+//!   topology) tuples with oracle checking and automatic shrinking of
+//!   failures to a minimal replayable [`explore::Repro`];
 //! * [`paper`] — the exact parameter grids behind each figure of the
 //!   paper's evaluation.
 //!
@@ -41,6 +48,8 @@
 //! assert!(latency.mean() > 0.0);
 //! ```
 
+pub mod explore;
+pub mod oracle;
 pub mod paper;
 mod runner;
 mod saturate;

@@ -1,0 +1,368 @@
+//! The atomic-broadcast oracle: one reusable checker for the
+//! guarantees both algorithms must uphold (paper Section 2.2), shared
+//! by the workspace test suites and the adversarial schedule explorer
+//! ([`crate::explore`]).
+//!
+//! The oracle judges **delivery logs** — per-process sequences of
+//! `(MsgId, payload)` pairs in A-delivery order, as drained from a
+//! run's [`abcast::AbcastEvent`] outputs by [`delivery_logs`] — and
+//! reports the first [`Violation`] it finds:
+//!
+//! * **uniform agreement + total order** — every process's log is a
+//!   prefix of the longest log, so any two processes deliver common
+//!   messages in the same order and nobody delivers something the
+//!   total order does not contain ([`check_uniform_total_order`]);
+//! * **integrity** — no process delivers the same broadcast twice,
+//!   and every delivered payload was actually broadcast
+//!   ([`check_uniform_total_order`], [`check_completeness`]);
+//! * **validity / bounded quiescence** — by the end of the run every
+//!   *correct* process has delivered every payload it was owed: the
+//!   whole total order (a correct process may not lag at quiescence)
+//!   and in particular every payload in the caller's `must_deliver`
+//!   set ([`check_completeness`]).
+//!
+//! Which payloads are owed and which processes count as correct
+//! depend on the fault script, so the caller states them as
+//! [`Expectations`]; the safety checks need no configuration.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use abcast::{AbcastEvent, MsgId};
+use neko::{Pid, Time};
+
+/// One process's A-deliveries, in delivery order.
+pub type DeliveryLog = Vec<(MsgId, u64)>;
+
+/// Splits a run's drained outputs into per-process delivery logs.
+pub fn delivery_logs(n: usize, outputs: Vec<(Time, Pid, AbcastEvent<u64>)>) -> Vec<DeliveryLog> {
+    let mut logs = vec![Vec::new(); n];
+    for (_, p, ev) in outputs {
+        let AbcastEvent::Delivered { id, payload } = ev;
+        logs[p.index()].push((id, payload));
+    }
+    logs
+}
+
+/// What a run was supposed to achieve, derived from its workload and
+/// fault script by the caller.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Expectations {
+    /// Every payload that could legitimately have entered the system
+    /// (the workload's ground truth); anything delivered outside this
+    /// set is an integrity violation.
+    pub sent: BTreeSet<u64>,
+    /// Payloads every process in `correct` must have delivered by the
+    /// end of the run (validity with a deadline). Keep this to
+    /// broadcasts whose delivery the fault script cannot excuse —
+    /// e.g. exclude payloads sent into a network partition.
+    pub must_deliver: BTreeSet<u64>,
+    /// Processes held to the completeness bars: typically those that
+    /// never crashed and were never cut off (a recovering or
+    /// rejoining process may legitimately still be catching up when
+    /// the run ends).
+    pub correct: Vec<Pid>,
+}
+
+/// The first invariant breach found in a run, with enough context to
+/// be actionable on its own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes deliver common messages in different orders (or
+    /// one delivers something outside the common total order):
+    /// `process`'s log stops being a prefix of the longest log at
+    /// `position`.
+    OrderDiverged {
+        /// The process whose log diverges.
+        process: Pid,
+        /// First index at which the logs disagree.
+        position: usize,
+        /// What `process` delivered there.
+        got: (MsgId, u64),
+        /// What the longest log holds there.
+        expected: (MsgId, u64),
+    },
+    /// `process` delivered the same broadcast twice.
+    DuplicateDelivery {
+        /// The offending process.
+        process: Pid,
+        /// The id delivered more than once.
+        id: MsgId,
+    },
+    /// `process` delivered a payload nobody broadcast.
+    ForeignPayload {
+        /// The offending process.
+        process: Pid,
+        /// The unknown payload.
+        payload: u64,
+    },
+    /// A correct process's log is shorter than the longest log at the
+    /// deadline: messages delivered elsewhere never reached it
+    /// (uniform agreement breached within the quiescence bound).
+    Lagging {
+        /// The correct process that fell behind.
+        process: Pid,
+        /// How many deliveries it is missing.
+        missing: usize,
+    },
+    /// A correct process never delivered a payload the script
+    /// guarantees (validity breached within the quiescence bound).
+    NeverDelivered {
+        /// The correct process that missed it.
+        process: Pid,
+        /// The guaranteed payload.
+        payload: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OrderDiverged {
+                process,
+                position,
+                got,
+                expected,
+            } => write!(
+                f,
+                "total order diverged: {process} delivered {}={} at position {position} \
+                 where the longest log has {}={}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            Violation::DuplicateDelivery { process, id } => {
+                write!(f, "integrity: {process} delivered {id} twice")
+            }
+            Violation::ForeignPayload { process, payload } => {
+                write!(f, "integrity: {process} delivered {payload}, which nobody broadcast")
+            }
+            Violation::Lagging { process, missing } => write!(
+                f,
+                "agreement/liveness: correct {process} is missing {missing} deliveries at the deadline"
+            ),
+            Violation::NeverDelivered { process, payload } => write!(
+                f,
+                "validity/liveness: correct {process} never delivered guaranteed payload {payload}"
+            ),
+        }
+    }
+}
+
+/// Uniform agreement, total order and no-duplication: every log must
+/// be a prefix of the longest log, and no log may contain the same id
+/// twice. Needs no expectations — these are pure safety properties.
+pub fn check_uniform_total_order(logs: &[DeliveryLog]) -> Result<(), Violation> {
+    // Reference log: the *first* longest one, so the flagged process
+    // is deterministic when several logs tie.
+    let mut longest = 0;
+    for (i, log) in logs.iter().enumerate() {
+        if log.len() > logs[longest].len() {
+            longest = i;
+        }
+    }
+    for (i, log) in logs.iter().enumerate() {
+        for (pos, entry) in log.iter().enumerate() {
+            let expected = &logs[longest][pos];
+            if entry != expected {
+                return Err(Violation::OrderDiverged {
+                    process: Pid::new(i),
+                    position: pos,
+                    got: *entry,
+                    expected: *expected,
+                });
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for (id, _) in log {
+            if !seen.insert(*id) {
+                return Err(Violation::DuplicateDelivery {
+                    process: Pid::new(i),
+                    id: *id,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Integrity (nothing delivered that was not sent) plus the
+/// deadline-bound completeness checks: every correct process must
+/// have caught up with the longest log and delivered every guaranteed
+/// payload. Call this at the end of the run's drain window — it *is*
+/// the bounded-quiescence liveness check.
+pub fn check_completeness(logs: &[DeliveryLog], exp: &Expectations) -> Result<(), Violation> {
+    for (i, log) in logs.iter().enumerate() {
+        for (_, payload) in log {
+            if !exp.sent.contains(payload) {
+                return Err(Violation::ForeignPayload {
+                    process: Pid::new(i),
+                    payload: *payload,
+                });
+            }
+        }
+    }
+    let longest = logs.iter().map(Vec::len).max().unwrap_or(0);
+    for &p in &exp.correct {
+        let log = &logs[p.index()];
+        if log.len() < longest {
+            return Err(Violation::Lagging {
+                process: p,
+                missing: longest - log.len(),
+            });
+        }
+        let delivered: BTreeSet<u64> = log.iter().map(|(_, v)| *v).collect();
+        if let Some(&payload) = exp.must_deliver.iter().find(|v| !delivered.contains(v)) {
+            return Err(Violation::NeverDelivered {
+                process: p,
+                payload,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs every check: safety ([`check_uniform_total_order`]) first,
+/// then the deadline-bound completeness ([`check_completeness`]).
+pub fn check(logs: &[DeliveryLog], exp: &Expectations) -> Result<(), Violation> {
+    check_uniform_total_order(logs)?;
+    check_completeness(logs, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(origin: usize, seq: u64) -> MsgId {
+        MsgId {
+            origin: Pid::new(origin),
+            seq,
+        }
+    }
+
+    fn exp(sent: &[u64], must: &[u64], correct: &[usize]) -> Expectations {
+        Expectations {
+            sent: sent.iter().copied().collect(),
+            must_deliver: must.iter().copied().collect(),
+            correct: correct.iter().map(|&i| Pid::new(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_prefix_logs_pass_everything() {
+        let logs = vec![
+            vec![(id(0, 0), 10), (id(1, 0), 11)],
+            vec![(id(0, 0), 10)],
+            vec![(id(0, 0), 10), (id(1, 0), 11)],
+        ];
+        check_uniform_total_order(&logs).unwrap();
+        // p2 lags, but only p1 and p3 are held correct.
+        check(&logs, &exp(&[10, 11], &[10, 11], &[0, 2])).unwrap();
+    }
+
+    #[test]
+    fn order_divergence_is_pinpointed() {
+        let logs = vec![
+            vec![(id(0, 0), 10), (id(1, 0), 11)],
+            vec![(id(1, 0), 11), (id(0, 0), 10)],
+        ];
+        let v = check_uniform_total_order(&logs).unwrap_err();
+        assert_eq!(
+            v,
+            Violation::OrderDiverged {
+                process: Pid::new(1),
+                position: 0,
+                got: (id(1, 0), 11),
+                expected: (id(0, 0), 10),
+            }
+        );
+        assert!(v.to_string().contains("total order diverged"));
+    }
+
+    #[test]
+    fn content_disagreement_on_equal_lengths_is_divergence() {
+        // Same lengths, same ids, different payload at one slot.
+        let logs = vec![vec![(id(0, 0), 10)], vec![(id(0, 0), 12)]];
+        assert!(matches!(
+            check_uniform_total_order(&logs),
+            Err(Violation::OrderDiverged { position: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let logs = vec![vec![(id(0, 0), 10), (id(0, 0), 10)]];
+        assert_eq!(
+            check_uniform_total_order(&logs).unwrap_err(),
+            Violation::DuplicateDelivery {
+                process: Pid::new(0),
+                id: id(0, 0),
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_payloads_and_lagging_correct_processes_are_flagged() {
+        let logs = vec![vec![(id(0, 0), 99)], vec![]];
+        assert_eq!(
+            check_completeness(&logs, &exp(&[10], &[], &[])).unwrap_err(),
+            Violation::ForeignPayload {
+                process: Pid::new(0),
+                payload: 99,
+            }
+        );
+        let logs = vec![vec![(id(0, 0), 10)], vec![]];
+        assert_eq!(
+            check_completeness(&logs, &exp(&[10], &[], &[1])).unwrap_err(),
+            Violation::Lagging {
+                process: Pid::new(1),
+                missing: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn guaranteed_payloads_must_reach_every_correct_process() {
+        let logs = vec![vec![(id(0, 0), 10)], vec![(id(0, 0), 10)]];
+        check(&logs, &exp(&[10, 11], &[10], &[0, 1])).unwrap();
+        assert_eq!(
+            check(&logs, &exp(&[10, 11], &[10, 11], &[0, 1])).unwrap_err(),
+            Violation::NeverDelivered {
+                process: Pid::new(0),
+                payload: 11,
+            }
+        );
+    }
+
+    #[test]
+    fn delivery_logs_split_by_process_in_output_order() {
+        let outputs = vec![
+            (
+                Time::from_millis(1),
+                Pid::new(1),
+                AbcastEvent::Delivered {
+                    id: id(0, 0),
+                    payload: 7,
+                },
+            ),
+            (
+                Time::from_millis(2),
+                Pid::new(1),
+                AbcastEvent::Delivered {
+                    id: id(1, 0),
+                    payload: 8,
+                },
+            ),
+            (
+                Time::from_millis(2),
+                Pid::new(0),
+                AbcastEvent::Delivered {
+                    id: id(0, 0),
+                    payload: 7,
+                },
+            ),
+        ];
+        let logs = delivery_logs(3, outputs);
+        assert_eq!(logs[0], vec![(id(0, 0), 7)]);
+        assert_eq!(logs[1], vec![(id(0, 0), 7), (id(1, 0), 8)]);
+        assert!(logs[2].is_empty());
+    }
+}

@@ -24,7 +24,7 @@ use std::time::Duration;
 use abcast::{AbcastEvent, BatchConfig, Batched, FdNode, GmNode, Pack, Uniformity};
 use neko::{
     derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, RealConfig,
-    RealRuntime, Runtime, Sim, SimBuilder, Time,
+    RealRuntime, Runtime, Schedule, Sim, SimBuilder, Time,
 };
 
 use crate::script::{CompiledScript, FaultScript, ScriptAction};
@@ -90,6 +90,7 @@ pub struct RunParams {
     hb_timeout: Dur,
     latency_cap: usize,
     batching: Option<BatchConfig>,
+    schedule: Schedule,
 }
 
 impl RunParams {
@@ -112,6 +113,7 @@ impl RunParams {
             hb_timeout: Dur::from_millis(60),
             latency_cap: DEFAULT_LATENCY_SAMPLE_CAP,
             batching: None,
+            schedule: Schedule::Fifo,
         }
     }
 
@@ -267,6 +269,23 @@ impl RunParams {
     pub fn latency_sample_cap(&self) -> usize {
         self.latency_cap
     }
+
+    /// Selects the simulator's same-time tie-break policy (default:
+    /// [`Schedule::Fifo`], bit-identical to runs predating the knob).
+    /// Non-default policies deterministically permute the
+    /// interleavings a run explores — see [`neko::Schedule`] and the
+    /// schedule explorer ([`crate::explore`]). Ignored by
+    /// [`Backend::Real`], whose interleavings come from the OS
+    /// scheduler.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The configured tie-break policy.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
 }
 
 /// The outcome of one simulation run.
@@ -349,14 +368,55 @@ impl SweepPoint {
 /// deterministic order, so the output is bit-identical to a
 /// sequential execution.
 pub fn run_sweep(points: &[SweepPoint]) -> Vec<RunOutput> {
-    // `STUDY_SWEEP_THREADS` overrides the worker count (benchmarking,
-    // scaling studies); the default is one worker per CPU core.
-    let workers = std::env::var("STUDY_SWEEP_THREADS")
+    run_sweep_with_workers(points, sweep_workers())
+}
+
+/// The sweep worker pool's thread count: `STUDY_SWEEP_THREADS`
+/// overrides it (benchmarking, scaling studies); the default is one
+/// worker per CPU core. Shared by the sweep executor and the schedule
+/// explorer ([`crate::explore`]).
+pub(crate) fn sweep_workers() -> usize {
+    std::env::var("STUDY_SWEEP_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&w| w > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    run_sweep_with_workers(points, workers)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The sweep worker pool: applies `f` to every item on up to
+/// `workers` scoped threads and returns the results **in input
+/// order** — scheduling never leaks into the output. The unit of
+/// parallelism is one item, so callers get full-core utilisation by
+/// submitting fine-grained items (single runs, single explorer
+/// tuples).
+pub(crate) fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, items.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(j) else {
+                    break;
+                };
+                *results[j].lock().expect("result slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed")
+        })
+        .collect()
 }
 
 /// [`run_sweep`] with an explicit worker-thread count. The output is
@@ -368,35 +428,16 @@ pub fn run_sweep_with_workers(points: &[SweepPoint], workers: usize) -> Vec<RunO
         .enumerate()
         .flat_map(|(i, p)| (0..p.params.replications as u64).map(move |r| (i, r)))
         .collect();
-    let results: Vec<Mutex<Option<SingleRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = workers.clamp(1, jobs.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(pi, rep)) = jobs.get(j) else {
-                    break;
-                };
-                let p = &points[pi];
-                let run = run_once(p.alg, &p.script, &p.params, derive_seed(p.seed, rep));
-                *results[j].lock().expect("result slot poisoned") = Some(run);
-            });
-        }
+    let runs = parallel_map(&jobs, workers, |&(pi, rep)| {
+        let p = &points[pi];
+        run_once(p.alg, &p.script, &p.params, derive_seed(p.seed, rep))
     });
-    let mut slots = results.into_iter();
+    let mut slots = runs.into_iter();
     points
         .iter()
         .map(|p| {
             let runs: Vec<SingleRun> = (0..p.params.replications)
-                .map(|_| {
-                    slots
-                        .next()
-                        .expect("one slot per job")
-                        .into_inner()
-                        .expect("result slot poisoned")
-                        .expect("worker completed")
-                })
+                .map(|_| slots.next().expect("one slot per job"))
                 .collect();
             aggregate(runs)
         })
@@ -548,6 +589,7 @@ where
             let mut rt: Sim<P> = SimBuilder::new(n)
                 .seed(seed)
                 .network(params.net)
+                .schedule(params.schedule)
                 .build_with(factory);
             drive(&mut rt, compiled, params, seed, end)
         }
@@ -755,8 +797,13 @@ where
 }
 
 /// Per-process down intervals `[crash, recover)` (recover = `None`
-/// for good), read back from the compiled injection stream.
-fn down_intervals(compiled: &CompiledScript, n: usize) -> Vec<Vec<(Time, Option<Time>)>> {
+/// for good), read back from the compiled injection stream. Shared
+/// with the schedule explorer, which excuses a sender's broadcasts
+/// while it was down.
+pub(crate) fn down_intervals(
+    compiled: &CompiledScript,
+    n: usize,
+) -> Vec<Vec<(Time, Option<Time>)>> {
     let mut edges: Vec<(Time, bool, Pid)> = compiled
         .entries()
         .iter()
@@ -1206,6 +1253,22 @@ mod tests {
         assert!(run.measured > 0);
         assert!(run.net.wire_messages > 0);
         assert!(run.net.cpu_busy > Dur::ZERO);
+    }
+
+    #[test]
+    fn schedule_knob_round_trips_and_permuted_runs_are_deterministic() {
+        use neko::Schedule;
+        let p = quick(3, 80.0);
+        assert_eq!(p.schedule(), Schedule::Fifo);
+        let p = p.with_schedule(Schedule::SeededRandom(5));
+        assert_eq!(p.schedule(), Schedule::SeededRandom(5));
+        let a = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 7);
+        let b = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 7);
+        assert_eq!(
+            a.mean_latency_ms().map(f64::to_bits),
+            b.mean_latency_ms().map(f64::to_bits),
+            "a permuted schedule is still a pure function of its seed"
+        );
     }
 
     #[test]

@@ -369,6 +369,60 @@ impl FaultScript {
                     .map(|(t, inj)| (t, ScriptAction::Inject(inj))),
             );
         };
+        // Per-process up/down edges over the whole timeline, for the
+        // detector resync below: a process that recovers missed every
+        // FD edge delivered while it was down (the kernel drops them),
+        // so its own detector must be re-synchronized with ground
+        // truth at recovery — otherwise stale suspicions from before
+        // the crash (e.g. a partition that healed in the meantime)
+        // poison the group forever.
+        let mut updown: Vec<Vec<(Time, bool)>> = vec![Vec::new(); n];
+        for ev in &self.events {
+            match ev {
+                FaultEvent::Crash { at, pid, .. } => {
+                    updown[pid.index()].push((resolve(*at), true));
+                }
+                FaultEvent::Recover { at, pid, .. } => {
+                    updown[pid.index()].push((resolve(*at), false));
+                }
+                FaultEvent::Churn {
+                    at, pid, downtime, ..
+                } => {
+                    let t = resolve(*at);
+                    updown[pid.index()].push((t, true));
+                    updown[pid.index()].push((t + *downtime, false));
+                }
+                FaultEvent::SuspicionBurst { .. } | FaultEvent::Partition { .. } => {}
+            }
+        }
+        for tl in &mut updown {
+            tl.sort();
+        }
+        let down_at = |q: Pid, t: Time| {
+            updown[q.index()]
+                .iter()
+                .rev()
+                .find(|(edge, _)| *edge <= t)
+                .is_some_and(|(_, down)| *down)
+        };
+        // The recovered process's own detector, resynced at the same
+        // detection delay its peers need to notice the recovery:
+        // suspect exactly the processes that are down at that instant
+        // (redundant edges are dropped by the kernel, so this is a
+        // no-op for every pair the detector already has right).
+        let resync = |entries: &mut Vec<(Time, ScriptAction)>, pid: Pid, at: Time| {
+            for q in Pid::all(n) {
+                if q == pid {
+                    continue;
+                }
+                let edge = if down_at(q, at) {
+                    FdEvent::Suspect(q)
+                } else {
+                    FdEvent::Trust(q)
+                };
+                entries.push((at, ScriptAction::Inject(Injection::Fd(pid, edge))));
+            }
+        };
         for &c in &ancient {
             entries.push((Time::ZERO, ScriptAction::Inject(Injection::Crash(c))));
         }
@@ -389,6 +443,7 @@ impl FaultScript {
                     let t = resolve(*at);
                     entries.push((t, ScriptAction::Inject(Injection::Recover(*pid))));
                     inject(&mut entries, recovery_plan(n, *pid, t, *detection));
+                    resync(&mut entries, *pid, t + *detection);
                 }
                 FaultEvent::SuspicionBurst {
                     from,
@@ -440,6 +495,7 @@ impl FaultScript {
                     let back = t + *downtime;
                     entries.push((back, ScriptAction::Inject(Injection::Recover(*pid))));
                     inject(&mut entries, recovery_plan(n, *pid, back, *detection));
+                    resync(&mut entries, *pid, back + *detection);
                 }
             }
         }

@@ -160,6 +160,71 @@ mod tests {
     }
 
     #[test]
+    fn mistake_duration_mean_is_exact_on_hand_computed_samples() {
+        // Three completed mistakes of 10, 15 and 20 ms: T_M = 15 ms
+        // exactly. Recurrence is start-to-start: starts at 100, 200
+        // and 401 ms give gaps of 100 and 201 ms, whose integer-µs
+        // mean truncates to 150.5 ms → 150_500 µs.
+        let p = Pid::new(0);
+        let mut est = QosEstimator::new();
+        for (start, dur) in [(100u64, 10u64), (200, 15), (401, 20)] {
+            est.observe(Time::from_millis(start), FdEvent::Suspect(p));
+            est.observe(Time::from_millis(start + dur), FdEvent::Trust(p));
+        }
+        assert_eq!(est.mistakes(), 3);
+        assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(15)));
+        assert_eq!(
+            est.mean_mistake_recurrence(),
+            Some(Dur::from_micros(150_500))
+        );
+    }
+
+    #[test]
+    fn recurrence_is_start_to_start_not_end_to_start() {
+        // Mistakes [0,10), [50,60), [150,160): T_MR gaps are 50 and
+        // 100 ms (start-to-start), not 40 and 90 (end-to-start).
+        let p = Pid::new(1);
+        let mut est = QosEstimator::new();
+        for start in [0u64, 50, 150] {
+            est.observe(Time::from_millis(start), FdEvent::Suspect(p));
+            est.observe(Time::from_millis(start + 10), FdEvent::Trust(p));
+        }
+        assert_eq!(est.mean_mistake_recurrence(), Some(Dur::from_millis(75)));
+    }
+
+    #[test]
+    fn single_mistake_has_duration_but_no_recurrence() {
+        let p = Pid::new(0);
+        let mut est = QosEstimator::new();
+        est.observe(Time::from_millis(5), FdEvent::Suspect(p));
+        est.observe(Time::from_millis(9), FdEvent::Trust(p));
+        assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(4)));
+        assert_eq!(est.mean_mistake_recurrence(), None, "needs two starts");
+        assert_eq!(est.detection(), None, "no crash was reported");
+    }
+
+    #[test]
+    fn mistake_spanning_the_crash_counts_fully_and_detection_is_first_post_crash() {
+        // A wrong suspicion that starts before the crash is a mistake
+        // for its whole observed span, even past the crash instant;
+        // T_D comes from the first suspicion at or after the crash.
+        let p = Pid::new(2);
+        let mut est = QosEstimator::new();
+        est.crashed_at(Time::from_millis(100));
+        est.observe(Time::from_millis(80), FdEvent::Suspect(p));
+        est.observe(Time::from_millis(130), FdEvent::Trust(p));
+        assert_eq!(est.mistakes(), 1);
+        assert_eq!(est.mean_mistake_duration(), Some(Dur::from_millis(50)));
+        assert_eq!(est.detection(), None, "pre-crash start is not detection");
+        est.observe(Time::from_millis(160), FdEvent::Suspect(p));
+        assert_eq!(est.detection(), Some(Dur::from_millis(60)));
+        // A later, even longer suspicion never overwrites T_D.
+        est.observe(Time::from_millis(170), FdEvent::Trust(p));
+        est.observe(Time::from_millis(300), FdEvent::Suspect(p));
+        assert_eq!(est.detection(), Some(Dur::from_millis(60)));
+    }
+
+    #[test]
     fn validates_generated_suspicion_plan() {
         use crate::{suspicion_steady_plan, QosParams};
         let tmr = Dur::from_millis(300);

@@ -274,7 +274,16 @@ fn push_interval(
         Time::from_micros(base + start),
         Injection::Fd(q, FdEvent::Suspect(p)),
     ));
-    let end = end.min(window);
+    // The correction lands strictly after the mistake, even at
+    // `T_M = 0` (1 µs later): two edges at the same instant rely on
+    // insertion order, and a permuted schedule (`neko::Schedule`)
+    // could deliver the Trust before the Suspect — turning a
+    // zero-duration blip into a *permanent* wrong suspicion that no
+    // correction ever follows, which breaks the eventual accuracy
+    // both algorithms rely on.
+    // (`start < window` always holds — the caller's loop condition —
+    // so the lower bound never collides with the window clamp.)
+    let end = end.max(start + 1).min(window);
     plan.push((
         Time::from_micros(base + end),
         Injection::Fd(q, FdEvent::Trust(p)),
@@ -356,6 +365,66 @@ mod tests {
     }
 
     #[test]
+    fn qos_params_accessors_and_mistake_predicate() {
+        let q = QosParams::new();
+        assert_eq!(q.detection(), Dur::ZERO);
+        assert_eq!(q.mistake_recurrence(), Dur::MAX);
+        assert_eq!(q.mistake_duration(), Dur::ZERO);
+        assert!(!q.makes_mistakes(), "the default detector is perfect");
+        let q = q
+            .with_detection(Dur::from_millis(25))
+            .with_mistake_recurrence(Dur::from_secs(2))
+            .with_mistake_duration(Dur::from_millis(7));
+        assert_eq!(q.detection(), Dur::from_millis(25));
+        assert_eq!(q.mistake_recurrence(), Dur::from_secs(2));
+        assert_eq!(q.mistake_duration(), Dur::from_millis(7));
+        assert!(q.makes_mistakes());
+        assert_eq!(QosParams::default(), QosParams::new());
+    }
+
+    #[test]
+    fn burst_plan_is_empty_for_an_empty_window() {
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(10))
+            .with_mistake_duration(Dur::from_millis(5));
+        let t = Time::from_secs(1);
+        assert!(suspicion_burst_plan(3, t, t, params, 1, None).is_empty());
+        assert!(suspicion_burst_plan(3, t, Time::from_millis(500), params, 1, None).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_corrections_land_strictly_after_their_mistake() {
+        // The T_M = 0 configuration must never emit a Suspect/Trust
+        // pair at the same instant: under a permuted event schedule
+        // (`neko::Schedule`) same-instant edges can swap, turning a
+        // momentary blip into a permanent wrong suspicion. Every
+        // trust lands ≥ 1 µs after its suspect, per pair.
+        let params = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(50))
+            .with_mistake_duration(Dur::ZERO);
+        let plan = suspicion_steady_plan(3, Time::from_secs(5), params, 17);
+        assert!(!plan.is_empty());
+        for q in Pid::all(3) {
+            for p in Pid::all(3) {
+                let mut open: Option<Time> = None;
+                for entry in &plan {
+                    let (t, at, ev) = fd(entry);
+                    if at != q || ev.subject() != p {
+                        continue;
+                    }
+                    match ev {
+                        FdEvent::Suspect(_) => open = Some(t),
+                        FdEvent::Trust(_) => {
+                            let s = open.take().expect("trust follows suspect");
+                            assert!(t > s, "{q}->{p}: trust at {t} not after {s}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn suspicion_plan_is_empty_for_perfect_detector() {
         let plan = suspicion_steady_plan(3, Time::from_secs(10), QosParams::new(), 1);
         assert!(plan.is_empty());
@@ -405,7 +474,11 @@ mod tests {
         let plan = suspicion_steady_plan(2, Time::from_secs(10), params, 3);
         assert!(!plan.is_empty());
         assert_eq!(plan.len() % 2, 0);
-        // Every suspect is matched by a trust at the same instant.
+        // Every suspect is matched by a trust *strictly after* it
+        // (1 µs for a zero-duration mistake): a same-instant pair
+        // would rely on insertion order, which a permuted schedule
+        // (`neko::Schedule`) does not preserve — the Trust could land
+        // first and leave a permanent wrong suspicion behind.
         let suspects = plan
             .iter()
             .map(fd)
@@ -416,7 +489,7 @@ mod tests {
             .filter(|(_, _, e)| matches!(e, FdEvent::Trust(_)))
             .collect();
         for (i, (t, q, _)) in suspects.enumerate() {
-            assert_eq!(trusts[i].0, t);
+            assert_eq!(trusts[i].0, t + Dur::from_micros(1));
             assert_eq!(trusts[i].1, q);
         }
     }

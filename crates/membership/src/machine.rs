@@ -78,6 +78,11 @@ pub struct Membership<U: Unstable> {
     future: BTreeMap<ViewId, Vec<(Pid, GmMsg<U>)>>,
     needs_poll: bool,
     join_attempts: u64,
+    /// Set by the owner's stall probe: the current view change has
+    /// made no progress for a while, so a Welcome for the very next
+    /// view may be adopted even though our own consensus on it is
+    /// still nominally in flight (its decision was lost to us).
+    stale_jump_armed: bool,
 }
 
 impl<U: Unstable> Membership<U> {
@@ -103,6 +108,7 @@ impl<U: Unstable> Membership<U> {
             future: BTreeMap::new(),
             needs_poll: false,
             join_attempts: 0,
+            stale_jump_armed: false,
         }
     }
 
@@ -236,10 +242,26 @@ impl<U: Unstable> Membership<U> {
                 unstable: u,
             } => {
                 if !self.is_member() {
+                    // We may be the member-to-be this very view change
+                    // readmits — our Welcome is still in flight, so
+                    // dropping the flush would wedge the change (the
+                    // sender waits for our exchange forever once we
+                    // adopt the view). Keep it; adopting the view
+                    // drains the buffer, and stale views are pruned.
+                    self.buffer(
+                        view,
+                        from,
+                        GmMsg::Flush {
+                            view,
+                            excluded,
+                            joining,
+                            unstable: u,
+                        },
+                    );
                     return;
                 }
                 match view.cmp(&self.view.id()) {
-                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Less => self.welcome_straggler(from, out),
                     std::cmp::Ordering::Greater => self.buffer(
                         view,
                         from,
@@ -282,10 +304,13 @@ impl<U: Unstable> Membership<U> {
             }
             GmMsg::Cons { view, inner } => {
                 if !self.is_member() {
+                    // Same as for `Flush`: we may be about to adopt
+                    // exactly this view via a Welcome in flight.
+                    self.buffer(view, from, GmMsg::Cons { view, inner });
                     return;
                 }
                 match view.cmp(&self.view.id()) {
-                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Less => self.welcome_straggler(from, out),
                     std::cmp::Ordering::Greater => {
                         self.buffer(view, from, GmMsg::Cons { view, inner })
                     }
@@ -350,13 +375,26 @@ impl<U: Unstable> Membership<U> {
                 let v = View::new(view, members);
                 self.universe.extend(v.members().iter().copied());
                 if v.contains(self.me) {
-                    // Admitted: adopt the view. (As a member of an
-                    // older view we instead learn of newer views
-                    // through the ordinary view-change traffic.)
-                    if matches!(self.mode, Mode::Excluded { .. }) {
+                    // Admitted: adopt the view. Besides an excluded
+                    // process whose join succeeded, this covers a
+                    // *member that fell behind* — crash recovery
+                    // brought it back mid-view-change and the group
+                    // finished without its vote. A live member racing
+                    // its own in-flight consensus decision must NOT
+                    // jump (the decision is normally a message away,
+                    // and jumping would abandon its vote and churn
+                    // the group): while we are a member, adopt only
+                    // when the gap cannot be healed by the ordinary
+                    // flow — no view change of our own in flight, the
+                    // Welcome is more than one view ahead, or our
+                    // stall probe armed the jump.
+                    let member_may_jump =
+                        self.vc.is_none() || view > self.view.id().next() || self.stale_jump_armed;
+                    if !self.is_member() || member_may_jump {
                         self.view = v.clone();
                         self.mode = Mode::Member;
                         self.vc = None;
+                        self.stale_jump_armed = false;
                         self.future.retain(|vid, _| *vid >= view);
                         out.push(GmAction::Readmitted { view: v });
                         self.needs_poll = true;
@@ -378,6 +416,46 @@ impl<U: Unstable> Membership<U> {
                 }
             }
         }
+    }
+
+    /// Repairs a stalled view change: re-multicasts our flush
+    /// exchange (it may have been dropped while a member-to-be had
+    /// not yet adopted the view) and re-emits the view-change
+    /// consensus's directed state toward every other old-view member
+    /// (unwedging cross-round stalls — see
+    /// [`consensus::Consensus::resend_to`]). Everything re-sent is
+    /// idempotent at the receivers, so the caller may invoke this on
+    /// a coarse no-progress probe without perturbing healthy runs.
+    /// Arms the stale-view jump (see [`Membership::vc_resend`]): the
+    /// owner's probe observed a stalled view change, so a Welcome for
+    /// the next view — normally outrun by our own consensus decision
+    /// — should be believed. Cleared by any install.
+    pub fn arm_stale_jump(&mut self) {
+        self.stale_jump_armed = true;
+    }
+
+    pub fn vc_resend(&mut self, out: &mut Vec<GmAction<U>>) {
+        let cons_out = {
+            let Some(vc) = &self.vc else { return };
+            let others = self.view.others(self.me);
+            if let Some(own) = vc.exchanges.get(&self.me) {
+                out.push(GmAction::Multicast(
+                    others.clone(),
+                    GmMsg::Flush {
+                        view: self.view.id(),
+                        excluded: vc.excluded.clone(),
+                        joining: vc.joining.clone(),
+                        unstable: own.clone(),
+                    },
+                ));
+            }
+            let mut cons_out = Vec::new();
+            for p in others {
+                vc.cons.resend_to(p, &mut cons_out);
+            }
+            cons_out
+        };
+        self.pump_cons(cons_out, out);
     }
 
     /// Sends a join request to every process that has ever been a
@@ -421,6 +499,25 @@ impl<U: Unstable> Membership<U> {
 
     fn buffer(&mut self, view: ViewId, from: Pid, msg: GmMsg<U>) {
         self.future.entry(view).or_default().push((from, msg));
+    }
+
+    /// A process sent view-change traffic for a view we have already
+    /// left behind: it is stuck in the past — it recovered from a
+    /// crash mid-view-change, or its flush raced its own exclusion —
+    /// and since nobody multicasts to it any more, dropping the
+    /// message silently would wedge it (and every view change waiting
+    /// for its exchange) forever. Tell it where the group is; its
+    /// Welcome handler turns the news into a rejoin or a catch-up.
+    fn welcome_straggler(&self, from: Pid, out: &mut Vec<GmAction<U>>) {
+        if self.is_member() && from != self.me {
+            out.push(GmAction::Send(
+                from,
+                GmMsg::Welcome {
+                    view: self.view.id(),
+                    members: self.view.members().clone(),
+                },
+            ));
+        }
     }
 
     fn start_vc(
@@ -470,6 +567,27 @@ impl<U: Unstable> Membership<U> {
             .filter(|&p| !vc.excluded.contains(&p) && (p == me || !self.suspects.is_suspected(p)))
             .collect();
         if !wait_set.iter().all(|p| vc.exchanges.contains_key(p)) {
+            return;
+        }
+        // A proposal must merge enough of the closing view's
+        // exchanges to *intersect every possible ack-majority*, not
+        // just the unsuspected ones. Uniform delivery is backed by a
+        // majority of acks, and every acker's exchange still carries
+        // an acked message until it is stable at the whole view — so
+        // a proposal built from at least `n − majority + 1` exchanges
+        // provably contains every message anyone delivered in the
+        // closing view. Proposing from fewer (wrong suspicions can
+        // shrink the wait set to a single process) can drop a
+        // delivered message's payload or sequence number from the
+        // agreed bundle, and a lagging member would then flush a
+        // different order than its peers delivered (total-order
+        // violation; found by the schedule explorer, pinned in
+        // `tests/explore.rs`). Wrongly suspected members are alive
+        // and their flushes do arrive; only the loss of a real
+        // quorum blocks this bound — in particular a two-member view
+        // needs just its own exchange, so losing one of two members
+        // never wedges the survivor.
+        if vc.exchanges.len() < self.view.len() - self.view.majority() + 1 {
             return;
         }
         vc.proposed = true;
@@ -541,6 +659,7 @@ impl<U: Unstable> Membership<U> {
 
     fn install(&mut self, proposal: ViewProposal<U>, out: &mut Vec<GmAction<U>>) {
         let new_view = View::new(self.view.id().next(), proposal.members);
+
         self.universe.extend(new_view.members().iter().copied());
         let joined: BTreeSet<Pid> = new_view
             .members()
@@ -549,6 +668,7 @@ impl<U: Unstable> Membership<U> {
             .filter(|p| !self.view.contains(*p))
             .collect();
         self.vc = None;
+        self.stale_jump_armed = false;
         if new_view.contains(self.me) {
             out.push(GmAction::Install {
                 view: new_view.clone(),

@@ -19,6 +19,91 @@ use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId};
 use crate::rng::stream_rng;
 use crate::time::{Dur, Time};
 
+/// How the kernel orders events that are due at the *same* instant.
+///
+/// The event queue always processes strictly-earlier events first;
+/// a `Schedule` only decides same-time ties. The default, FIFO
+/// insertion order, is what the golden tests pin — every other policy
+/// exists to *explore* the interleavings the model permits but the
+/// default never exercises (see `study::explore`). All policies are
+/// deterministic: the same policy (including its seed) on the same
+/// run yields bit-identical executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Schedule {
+    /// Insertion order (the historical kernel behaviour,
+    /// bit-identical to runs predating this knob).
+    #[default]
+    Fifo,
+    /// Same-time ties — simultaneous message deliveries, a timer
+    /// racing a delivery, a crash racing a command — are permuted
+    /// uniformly by a dedicated RNG seeded from the given value
+    /// (independent of the simulation's master seed).
+    SeededRandom(u64),
+    /// PCT-style priority scheduling (after Burckhardt et al., *A
+    /// Randomized Scheduler with Probabilistic Guarantees of Finding
+    /// Bugs*): ties are permuted like [`Schedule::SeededRandom`], but
+    /// roughly one event in `change_period` is *demoted* behind every
+    /// same-instant peer — a priority-change point that biases the
+    /// search toward rare "this one arrived last" interleavings that
+    /// uniform permutation hits only with vanishing probability.
+    Pct {
+        /// Seed of the policy's dedicated RNG.
+        seed: u64,
+        /// Mean number of events between two priority-change points
+        /// (must be non-zero).
+        change_period: u32,
+    },
+}
+
+/// The running state behind a [`Schedule`]: draws one tie-break key
+/// per scheduled event.
+enum TieBreaker {
+    Fifo,
+    SeededRandom(SmallRng),
+    Pct { rng: SmallRng, change_period: u32 },
+}
+
+impl TieBreaker {
+    fn new(schedule: Schedule) -> Self {
+        match schedule {
+            Schedule::Fifo => TieBreaker::Fifo,
+            Schedule::SeededRandom(seed) => TieBreaker::SeededRandom(stream_rng(seed, 0x5C4E_D111)),
+            Schedule::Pct {
+                seed,
+                change_period,
+            } => {
+                assert!(change_period > 0, "change_period must be non-zero");
+                TieBreaker::Pct {
+                    rng: stream_rng(seed, 0x5C4E_D222),
+                    change_period,
+                }
+            }
+        }
+    }
+
+    /// The tie key of the next scheduled event. Same-time events sort
+    /// by `(tie, insertion order)`, so `0` for every event reproduces
+    /// FIFO exactly.
+    fn next_tie(&mut self) -> u64 {
+        match self {
+            TieBreaker::Fifo => 0,
+            TieBreaker::SeededRandom(rng) => rng.next_u64(),
+            TieBreaker::Pct { rng, change_period } => {
+                let demote = rng.next_u64() % u64::from(*change_period) == 0;
+                if demote {
+                    u64::MAX
+                } else {
+                    // Keep normal draws strictly below the demoted
+                    // class so a demoted event sorts behind *every*
+                    // same-instant peer.
+                    rng.next_u64() >> 1
+                }
+            }
+        }
+    }
+}
+
 /// Events understood by the kernel.
 #[derive(Debug)]
 pub(crate) enum Ev<M, C> {
@@ -48,13 +133,16 @@ pub(crate) enum Ev<M, C> {
 
 pub(crate) struct Scheduled<M, C> {
     pub(crate) at: Time,
+    /// Tie-break key drawn from the [`Schedule`] policy (always 0
+    /// under FIFO).
+    pub(crate) tie: u64,
     pub(crate) seq: u64,
     pub(crate) ev: Ev<M, C>,
 }
 
 impl<M, C> PartialEq for Scheduled<M, C> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl<M, C> Eq for Scheduled<M, C> {}
@@ -65,9 +153,10 @@ impl<M, C> PartialOrd for Scheduled<M, C> {
 }
 impl<M, C> Ord for Scheduled<M, C> {
     /// Reversed so that the `BinaryHeap` pops the *earliest* event;
-    /// ties broken by insertion order for determinism.
+    /// same-time ties broken by the schedule policy's tie key, then by
+    /// insertion order for determinism.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.tie, other.seq).cmp(&(self.at, self.tie, self.seq))
     }
 }
 
@@ -88,12 +177,25 @@ pub(crate) struct Kernel<M: Message, C, O> {
     cancelled_timers: BTreeSet<u64>,
     next_timer: u64,
     rngs: Vec<SmallRng>,
+    tie_breaker: TieBreaker,
     pub(crate) outputs: Vec<(Time, Pid, O)>,
     pub(crate) stats: NetStats,
 }
 
 impl<M: Message, C, O> Kernel<M, C, O> {
+    /// A FIFO-scheduled kernel (test convenience; the builder always
+    /// goes through [`Kernel::with_schedule`]).
+    #[cfg(test)]
     pub(crate) fn new(n: usize, params: NetParams, seed: u64) -> Self {
+        Self::with_schedule(n, params, seed, Schedule::Fifo)
+    }
+
+    pub(crate) fn with_schedule(
+        n: usize,
+        params: NetParams,
+        seed: u64,
+        schedule: Schedule,
+    ) -> Self {
         assert!((1..=64).contains(&n), "n must be in 1..=64");
         Kernel {
             now: Time::ZERO,
@@ -112,6 +214,7 @@ impl<M: Message, C, O> Kernel<M, C, O> {
             rngs: (0..n)
                 .map(|i| stream_rng(seed, 0x5EED_0000 + i as u64))
                 .collect(),
+            tie_breaker: TieBreaker::new(schedule),
             outputs: Vec::new(),
             stats: NetStats::default(),
         }
@@ -124,8 +227,10 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     pub(crate) fn schedule(&mut self, at: Time, ev: Ev<M, C>) {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.seq += 1;
+        let tie = self.tie_breaker.next_tie();
         self.queue.push(Scheduled {
             at,
+            tie,
             seq: self.seq,
             ev,
         });
@@ -464,5 +569,90 @@ mod tests {
     #[should_panic(expected = "n must be in 1..=64")]
     fn zero_processes_rejected() {
         let _: K = Kernel::new(0, NetParams::default(), 1);
+    }
+
+    /// Pops the event times and a FIFO-rank fingerprint of the queue:
+    /// same-time ties are identified by the order they were inserted.
+    fn drain_order(mut k: K) -> Vec<(Time, u64)> {
+        let mut order = Vec::new();
+        while let Some(s) = k.pop() {
+            order.push((s.at, s.seq));
+        }
+        order
+    }
+
+    fn ten_tied_events(schedule: Schedule) -> K {
+        let mut k: K = Kernel::with_schedule(2, NetParams::default(), 1, schedule);
+        for _ in 0..5 {
+            k.schedule(
+                Time::from_millis(1),
+                Ev::NetDone {
+                    link: LinkId::SHARED,
+                },
+            );
+            k.schedule(Time::from_millis(1), Ev::CpuDone { at: Pid::new(0) });
+        }
+        k
+    }
+
+    #[test]
+    fn seeded_random_permutes_ties_deterministically() {
+        let fifo = drain_order(ten_tied_events(Schedule::Fifo));
+        assert!(
+            fifo.windows(2).all(|w| w[0].1 < w[1].1),
+            "FIFO keeps insertion order"
+        );
+        let a = drain_order(ten_tied_events(Schedule::SeededRandom(7)));
+        let b = drain_order(ten_tied_events(Schedule::SeededRandom(7)));
+        assert_eq!(a, b, "same schedule seed, same permutation");
+        assert_ne!(a, fifo, "seed 7 must actually permute ten tied events");
+        let c = drain_order(ten_tied_events(Schedule::SeededRandom(8)));
+        assert_ne!(a, c, "different seed, different permutation");
+    }
+
+    #[test]
+    fn schedule_policies_never_reorder_across_time() {
+        for schedule in [
+            Schedule::SeededRandom(3),
+            Schedule::Pct {
+                seed: 3,
+                change_period: 4,
+            },
+        ] {
+            let mut k: K = Kernel::with_schedule(2, NetParams::default(), 1, schedule);
+            for ms in [5u64, 1, 3, 1, 5, 2] {
+                k.schedule(Time::from_millis(ms), Ev::CpuDone { at: Pid::new(0) });
+            }
+            let times: Vec<Time> = drain_order(k).into_iter().map(|(t, _)| t).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(times, sorted, "{schedule:?} must respect the time axis");
+        }
+    }
+
+    #[test]
+    fn pct_is_deterministic_and_permutes() {
+        let p = |seed| Schedule::Pct {
+            seed,
+            change_period: 3,
+        };
+        let a = drain_order(ten_tied_events(p(1)));
+        let b = drain_order(ten_tied_events(p(1)));
+        assert_eq!(a, b);
+        assert_ne!(a, drain_order(ten_tied_events(Schedule::Fifo)));
+    }
+
+    #[test]
+    #[should_panic(expected = "change_period must be non-zero")]
+    fn pct_rejects_zero_change_period() {
+        let _: K = Kernel::with_schedule(
+            2,
+            NetParams::default(),
+            1,
+            Schedule::Pct {
+                seed: 1,
+                change_period: 0,
+            },
+        );
     }
 }

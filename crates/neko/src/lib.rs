@@ -74,6 +74,7 @@ mod sim;
 mod time;
 
 pub use inject::{Injection, Partition};
+pub use kernel::Schedule;
 pub use net::{NetParams, NetStats, NetworkModel, WanParams};
 pub use process::{Ctx, FdEvent, Message, Pid, Process, TimerId};
 pub use real::{RealConfig, RealRuntime};

@@ -11,20 +11,15 @@
 //! function schedules the workload, and the same fault scripts run
 //! through `study::run_once` on either selector.
 
-use abcast::{AbcastEvent, FdNode, GmNode, MsgId};
+use abcast::{AbcastEvent, FdNode, GmNode};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, RealConfig, RealRuntime, Runtime, SimBuilder, Time};
+use study::oracle::{self, DeliveryLog};
 use study::{poisson_arrivals, run_once, Algorithm, Backend, FaultScript, RunParams};
 
 /// Drives the same Poisson workload through any backend and returns
 /// the per-process delivery logs.
-fn drive<P, R>(
-    rt: &mut R,
-    n: usize,
-    throughput: f64,
-    horizon: Time,
-    seed: u64,
-) -> Vec<Vec<(MsgId, u64)>>
+fn drive<P, R>(rt: &mut R, n: usize, throughput: f64, horizon: Time, seed: u64) -> Vec<DeliveryLog>
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
     R: Runtime<P>,
@@ -37,33 +32,14 @@ where
     // for up to a flush window before shipping, and CI machines are
     // slow — an undersized drain here reads as lost messages.
     rt.run_until(horizon + Dur::from_millis(900));
-    let mut logs = vec![Vec::new(); n];
-    for (_, p, ev) in rt.take_outputs() {
-        let AbcastEvent::Delivered { id, payload } = ev;
-        logs[p.index()].push((id, payload));
-    }
-    logs
+    oracle::delivery_logs(n, rt.take_outputs())
 }
 
-/// Agreement + total order (prefix-compatible logs) + no duplication.
-fn assert_abcast_invariants(logs: &[Vec<(MsgId, u64)>], label: &str) {
-    let longest = logs.iter().max_by_key(|l| l.len()).expect("some process");
-    for (i, log) in logs.iter().enumerate() {
-        assert!(
-            longest.starts_with(log),
-            "{label}: p{}'s deliveries are not a prefix of the longest log\n p{}: {log:?}\n longest: {longest:?}",
-            i + 1,
-            i + 1,
-        );
-        let mut seen = std::collections::BTreeSet::new();
-        for (id, _) in log {
-            assert!(
-                seen.insert(*id),
-                "{label}: duplicate delivery of {id} at p{}",
-                i + 1
-            );
-        }
-    }
+/// Agreement + total order (prefix-compatible logs) + no duplication —
+/// the shared [`study::oracle`] checker, the same one the schedule
+/// explorer judges fuzzed runs with.
+fn assert_abcast_invariants(logs: &[DeliveryLog], label: &str) {
+    oracle::check_uniform_total_order(logs).unwrap_or_else(|v| panic!("{label}: {v}"));
 }
 
 fn conformance_for<P>(make: impl Fn(Pid) -> P + Copy, label: &str)
@@ -97,7 +73,7 @@ where
     // — and delivers exactly the payload set the simulator delivered
     // for the same seeded workload (the order may legitimately differ
     // between wall-clock and simulated time).
-    let payload_set = |logs: &[Vec<(MsgId, u64)>]| {
+    let payload_set = |logs: &[DeliveryLog]| {
         logs[0]
             .iter()
             .map(|(_, v)| *v)

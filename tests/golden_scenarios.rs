@@ -108,14 +108,26 @@ fn suspicion_steady_matches_enum_path() {
             (0x402c2c24038e15ba, 212, 0),
         ],
     );
+    // GM values re-pinned after the view-synchrony fixes that the
+    // schedule explorer forced (see tests/explore.rs): the flush
+    // barrier (no in-view delivery once a view change snapshotted its
+    // bundles), the install-time merge of locally held sequenced
+    // messages below the flush delivery horizon,
+    // majority-of-exchanges view proposals, the re-issue of an
+    // excluded process's undelivered broadcasts, and buffering (not
+    // dropping) traffic addressed to a member-to-be whose Welcome is
+    // still in flight. Every other scenario is bit-identical to the
+    // pre-fix pins; this one both dropped messages (5/10/1 per
+    // replication above — now zero) and could wedge a view change
+    // outright, inflating the old means.
     check(
         &script,
         &params,
         Algorithm::Gm,
         &[
-            (0x403dc40cc78e9f6f, 205, 5),
-            (0x40578165c5e75727, 206, 10),
-            (0x406f1c022c971111, 212, 1),
+            (0x4039ed554e836962, 205, 0),
+            (0x403795b110019735, 206, 0),
+            (0x403722e147ae1479, 212, 0),
         ],
     );
 }

@@ -2,51 +2,26 @@
 //! must hold for both algorithms under every benchmark scenario, and
 //! runs must be exactly reproducible.
 
-use abcast::{AbcastEvent, FdNode, GmNode, MsgId, Uniformity};
+use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, Sim, SimBuilder, Time};
+use study::oracle::{self, DeliveryLog};
 use study::poisson_arrivals;
 
 /// All deliveries of one run, per process, in delivery order.
-fn deliveries<P>(sim: &mut Sim<P>) -> Vec<Vec<(MsgId, u64)>>
+fn deliveries<P>(sim: &mut Sim<P>) -> Vec<DeliveryLog>
 where
     P: Process<Out = AbcastEvent<u64>>,
 {
-    let n = sim.n();
-    let mut logs = vec![Vec::new(); n];
-    for (_, p, ev) in sim.take_outputs() {
-        let AbcastEvent::Delivered { id, payload } = ev;
-        logs[p.index()].push((id, payload));
-    }
-    logs
+    oracle::delivery_logs(sim.n(), sim.take_outputs())
 }
 
 /// Uniform total order: all logs are prefix-compatible (agreement on
-/// both content and order), and the longest log contains every message
-/// delivered anywhere.
-fn assert_uniform_total_order(logs: &[Vec<(MsgId, u64)>], label: &str) {
-    let longest = logs.iter().max_by_key(|l| l.len()).expect("some process");
-    for (i, log) in logs.iter().enumerate() {
-        assert!(
-            longest.starts_with(log),
-            "{label}: p{}'s deliveries are not a prefix of the longest log\n p{}: {:?}\n longest: {:?}",
-            i + 1,
-            i + 1,
-            log,
-            longest,
-        );
-    }
-    // No duplicates anywhere.
-    for (i, log) in logs.iter().enumerate() {
-        let mut seen = std::collections::BTreeSet::new();
-        for (id, _) in log {
-            assert!(
-                seen.insert(*id),
-                "{label}: duplicate delivery of {id} at p{}",
-                i + 1
-            );
-        }
-    }
+/// both content and order, no duplicates) — the shared
+/// [`study::oracle`] checker, the same one the schedule explorer
+/// judges fuzzed runs with.
+fn assert_uniform_total_order(logs: &[DeliveryLog], label: &str) {
+    oracle::check_uniform_total_order(logs).unwrap_or_else(|v| panic!("{label}: {v}"));
 }
 
 fn run_scenario<P>(
@@ -55,7 +30,7 @@ fn run_scenario<P>(
     throughput: f64,
     horizon: Time,
     seed: u64,
-) -> Vec<Vec<(MsgId, u64)>>
+) -> Vec<DeliveryLog>
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
 {
