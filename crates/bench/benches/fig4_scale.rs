@@ -1,0 +1,45 @@
+//! **Fig. 4 at scale** — the normal-steady latency-vs-throughput sweep
+//! pushed past the paper's n = 7 ceiling, on the switched topology:
+//! n = 16, 32 and 64 (the engine's `DestSet` limit).
+//!
+//! The paper stops at n = 7 because that is what the cluster had; the
+//! simulator's former `BinaryHeap` kernel also made large groups
+//! painful (every FD heartbeat pair is a scheduled event, so the event
+//! queue scales as n² timers). The timing-wheel kernel and `Arc`
+//! fan-out exist precisely to make this sweep routine — it doubles as
+//! the scaling acceptance run for that work.
+//!
+//! Throughputs are kept below the n = 64 saturation knee: with 64
+//! processes every broadcast fans out a full consensus round, so the
+//! group saturates far earlier than n = 3 does in Fig. 4 proper.
+
+use figures::{steady_params, sweep, thin, Report};
+use neko::NetworkModel;
+use study::{Algorithm, FaultScript, SweepPoint};
+
+/// Group sizes past the paper's ceiling; 64 is the `DestSet` cap.
+const SCALE_NS: [usize; 3] = [16, 32, 64];
+
+fn throughputs() -> Vec<f64> {
+    vec![10.0, 25.0, 50.0, 100.0, 150.0, 200.0]
+}
+
+fn main() {
+    let mut report = Report::new("fig4_scale", "throughput_per_s");
+    let mut entries = Vec::new();
+    for n in SCALE_NS {
+        for t in thin(throughputs()) {
+            let point = SweepPoint::new(
+                Algorithm::Fd,
+                FaultScript::normal_steady(),
+                steady_params(n, t).with_network_model(NetworkModel::Switched),
+                0x0F16_0040,
+            );
+            entries.push((format!("n={n} Fd switched"), t, point));
+        }
+    }
+    for (series, t, out) in sweep(entries) {
+        report.row(&series, t, &out);
+    }
+    report.finish();
+}

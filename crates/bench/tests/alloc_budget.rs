@@ -1,0 +1,79 @@
+//! Pins an upper bound on heap allocations per delivered message on
+//! the atomic-broadcast hot path. The zero-copy fan-out work (`Arc`
+//! interning in the kernel, incremental queue counters in the network
+//! models) is only worth keeping if it *stays* cheap — this test turns
+//! the allocation rate into a regression gate the same way the stat
+//! tests pin latencies.
+//!
+//! The budget is deliberately loose (~2.5× the observed rate) so it only
+//! trips on structural regressions — a per-hop clone creeping back
+//! into the fan-out path, a per-event box in the scheduler — not on
+//! allocator noise or small protocol tweaks.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use neko::Dur;
+use study::{run_once, Algorithm, FaultScript, RunParams};
+
+/// Counts every allocation this test binary makes. Tests are separate
+/// binaries, so this global allocator is scoped to this file.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers all real work to `System`; only a counter is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn abcast_hot_path_allocation_budget() {
+    // One simulated second of FD atomic broadcast at 300 msg/s, n = 3
+    // — the same steady-state workload the latency figures run on.
+    let params = RunParams::new(3, 300.0)
+        .with_warmup(Dur::from_millis(100))
+        .with_measure(Dur::from_millis(900))
+        .with_drain(Dur::from_millis(500));
+
+    // Warm-up run: one-time lazy setup (thread-locals, interned
+    // tables, the first growth of every Vec) must not bill the budget.
+    run_once(Algorithm::Fd, &FaultScript::normal_steady(), &params, 41);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let run = run_once(Algorithm::Fd, &FaultScript::normal_steady(), &params, 42);
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    let delivered = run.measured - run.undelivered;
+    assert!(
+        delivered > 200,
+        "workload too small to be meaningful: {delivered}"
+    );
+
+    let per_message = allocs as f64 / delivered as f64;
+    // Observed ≈ 41 allocations per delivered broadcast with the
+    // timing-wheel kernel and Arc fan-out (each broadcast is a full
+    // consensus instance: estimate + proposal + acks across n = 3,
+    // plus measurement bookkeeping). Budget 100 ≈ 2.5× headroom.
+    assert!(
+        per_message < 100.0,
+        "allocation budget exceeded: {per_message:.1} allocs per delivered \
+         message ({allocs} allocations / {delivered} delivered) — a clone or \
+         box crept back into the kernel/network hot path"
+    );
+}

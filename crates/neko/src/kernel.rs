@@ -5,8 +5,8 @@
 //! process handler can receive `&mut Kernel` (wrapped in a context)
 //! while the simulator holds `&mut` to the process itself.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::RngCore;
@@ -18,6 +18,7 @@ use crate::net::{
 use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId};
 use crate::rng::stream_rng;
 use crate::time::{Dur, Time};
+use crate::wheel::TimingWheel;
 
 /// How the kernel orders events that are due at the *same* instant.
 ///
@@ -109,8 +110,11 @@ impl TieBreaker {
 pub(crate) enum Ev<M, C> {
     /// Driver-injected command for a process.
     Cmd { to: Pid, cmd: C },
-    /// Message ready for the application layer of `to`.
-    Deliver { to: Pid, from: Pid, msg: M },
+    /// Message ready for the application layer of `to`. The payload
+    /// is shared with any sibling copies of the same multicast; the
+    /// dispatcher unwraps it (or clones, if siblings are still in
+    /// flight) at the handler boundary.
+    Deliver { to: Pid, from: Pid, msg: Arc<M> },
     /// Failure-detector edge at process `at`.
     Fd { at: Pid, ev: FdEvent },
     /// Timer armed by `at`.
@@ -131,40 +135,24 @@ pub(crate) enum Ev<M, C> {
     NetDone { link: LinkId },
 }
 
+/// A popped event with its full ordering key. The timing wheel pops
+/// the minimum `(at, tie, seq)`: same-time ties broken by the
+/// schedule policy's tie key, then by insertion order — identical to
+/// the binary-heap kernel this engine used to run on.
 pub(crate) struct Scheduled<M, C> {
     pub(crate) at: Time,
-    /// Tie-break key drawn from the [`Schedule`] policy (always 0
-    /// under FIFO).
-    pub(crate) tie: u64,
+    /// Insertion sequence number (tests fingerprint FIFO rank with it;
+    /// the tie-break itself already happened inside the wheel).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) seq: u64,
     pub(crate) ev: Ev<M, C>,
-}
-
-impl<M, C> PartialEq for Scheduled<M, C> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.tie == other.tie && self.seq == other.seq
-    }
-}
-impl<M, C> Eq for Scheduled<M, C> {}
-impl<M, C> PartialOrd for Scheduled<M, C> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, C> Ord for Scheduled<M, C> {
-    /// Reversed so that the `BinaryHeap` pops the *earliest* event;
-    /// same-time ties broken by the schedule policy's tie key, then by
-    /// insertion order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.tie, other.seq).cmp(&(self.at, self.tie, self.seq))
-    }
 }
 
 /// Everything a running simulation owns apart from the processes.
 pub(crate) struct Kernel<M: Message, C, O> {
     pub(crate) now: Time,
     seq: u64,
-    queue: BinaryHeap<Scheduled<M, C>>,
+    queue: TimingWheel<Ev<M, C>>,
     n: usize,
     params: NetParams,
     cpus: Vec<Cpu<M>>,
@@ -200,7 +188,7 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         Kernel {
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             n,
             params,
             cpus: (0..n).map(|_| Cpu::new()).collect(),
@@ -228,20 +216,23 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.seq += 1;
         let tie = self.tie_breaker.next_tie();
-        self.queue.push(Scheduled {
-            at,
-            tie,
-            seq: self.seq,
-            ev,
-        });
+        self.queue.insert(at.as_micros(), tie, self.seq, ev);
     }
 
-    pub(crate) fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek().map(|s| s.at)
+    /// The deepest the event queue has ever been.
+    pub(crate) fn queue_peak(&self) -> u64 {
+        self.queue.peak() as u64
     }
 
-    pub(crate) fn pop(&mut self) -> Option<Scheduled<M, C>> {
-        self.queue.pop()
+    /// Pops the earliest event due at or before `until`, or `None`
+    /// when the horizon is reached (the timing wheel's cursor never
+    /// overtakes `until`, so the caller may keep scheduling there).
+    pub(crate) fn pop_due(&mut self, until: Time) -> Option<Scheduled<M, C>> {
+        self.queue.pop_due(until.as_micros()).map(|e| Scheduled {
+            at: Time::from_micros(e.at),
+            seq: e.seq,
+            ev: e.item,
+        })
     }
 
     pub(crate) fn is_crashed(&self, p: Pid) -> bool {
@@ -277,14 +268,22 @@ impl<M: Message, C, O> Kernel<M, C, O> {
 
     /// Hands a message to the sending host's CPU, possibly coalescing
     /// it with the message at the tail of the send queue.
-    pub(crate) fn send_from(&mut self, from: Pid, dests: DestSet, msg: M) {
+    ///
+    /// The payload arrives interned: one [`Arc`] is shared by every
+    /// wire copy and delivery of this send, so fan-out never clones
+    /// the message itself. Coalescing goes through [`Arc::make_mut`]:
+    /// if the queued tail is still shared (e.g. with a pending local
+    /// self-delivery of the same multicast), the merge copies it on
+    /// write — exactly the independent-copies semantics the engine
+    /// had when every destination cloned eagerly.
+    pub(crate) fn send_from(&mut self, from: Pid, dests: DestSet, msg: Arc<M>) {
         if dests.is_empty() {
             return;
         }
         let cpu = &mut self.cpus[from.index()];
         if self.params.coalescing() {
             if let Some(CpuJob::Send(tail)) = cpu.queue.back_mut() {
-                if tail.dests == dests && tail.msg.try_merge(&msg) {
+                if tail.dests == dests && Arc::make_mut(&mut tail.msg).try_merge(&msg) {
                     self.stats.merges += 1;
                     return;
                 }
@@ -401,7 +400,7 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     }
 
     pub(crate) fn timer_fires(&mut self, id: TimerId) -> bool {
-        !self.cancelled_timers.remove(&id.0)
+        self.cancelled_timers.is_empty() || !self.cancelled_timers.remove(&id.0)
     }
 }
 
@@ -426,6 +425,9 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
 
     fn send(&mut self, to: Pid, msg: M) {
         self.kernel.stats.send_calls += 1;
+        // Intern the payload once; every queue hop from here on moves
+        // a pointer, not the message.
+        let msg = Arc::new(msg);
         if to == self.pid {
             self.kernel.stats.self_deliveries += 1;
             let now = self.kernel.now;
@@ -446,6 +448,7 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
 
     fn multicast(&mut self, dests: &[Pid], msg: M) {
         self.kernel.stats.send_calls += 1;
+        let msg = Arc::new(msg);
         let mut remote = DestSet::default();
         let mut to_self = false;
         for &d in dests {
@@ -463,7 +466,7 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
                 Ev::Deliver {
                     to: self.pid,
                     from: self.pid,
-                    msg: msg.clone(),
+                    msg: Arc::clone(&msg),
                 },
             );
         }
@@ -530,9 +533,9 @@ mod tests {
             },
         );
         k.schedule(Time::from_millis(1), Ev::CpuDone { at: Pid::new(0) });
-        let a = k.pop().unwrap();
-        let b = k.pop().unwrap();
-        let c = k.pop().unwrap();
+        let a = k.pop_due(Time::MAX).unwrap();
+        let b = k.pop_due(Time::MAX).unwrap();
+        let c = k.pop_due(Time::MAX).unwrap();
         assert_eq!(a.at, Time::from_millis(1));
         assert!(matches!(a.ev, Ev::NetDone { .. })); // inserted first among ties
         assert_eq!(b.at, Time::from_millis(1));
@@ -575,7 +578,7 @@ mod tests {
     /// same-time ties are identified by the order they were inserted.
     fn drain_order(mut k: K) -> Vec<(Time, u64)> {
         let mut order = Vec::new();
-        while let Some(s) = k.pop() {
+        while let Some(s) = k.pop_due(Time::MAX) {
             order.push((s.at, s.seq));
         }
         order

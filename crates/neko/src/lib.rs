@@ -72,6 +72,7 @@ mod rng;
 mod runtime;
 mod sim;
 mod time;
+pub mod wheel;
 
 pub use inject::{Injection, Partition};
 pub use kernel::Schedule;

@@ -35,6 +35,7 @@
 //!   (infinite capacity, FIFO per pair).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::process::{DestSet, Message, Pid};
 use crate::rng::derive_seed;
@@ -225,18 +226,23 @@ impl Default for WanParams {
 }
 
 /// A message travelling from `from` to the destination set `dests`.
+///
+/// The payload is interned behind an [`Arc`]: the sender's CPU queue,
+/// every wire copy and every destination CPU share one allocation, so
+/// fanning a multicast out to `k` links bumps a refcount `k` times
+/// instead of deep-cloning the message `k` times.
 #[derive(Clone, Debug)]
 pub(crate) struct SendJob<M> {
     pub(crate) from: Pid,
     pub(crate) dests: DestSet,
-    pub(crate) msg: M,
+    pub(crate) msg: Arc<M>,
 }
 
 /// Work queued on a host CPU: either emitting or receiving a message.
 #[derive(Clone, Debug)]
 pub(crate) enum CpuJob<M> {
     Send(SendJob<M>),
-    Recv { from: Pid, msg: M },
+    Recv { from: Pid, msg: Arc<M> },
 }
 
 /// One host CPU: a single server with a FIFO queue shared by
@@ -277,7 +283,7 @@ impl LinkId {
 #[derive(Debug)]
 pub(crate) struct NetFx<M> {
     /// `(dest, from, msg)` triples ready for the destination CPU.
-    pub(crate) deliver: Vec<(Pid, Pid, M)>,
+    pub(crate) deliver: Vec<(Pid, Pid, Arc<M>)>,
     /// `Ev::NetDone { link }` events to schedule.
     pub(crate) schedule: Vec<(Time, LinkId)>,
 }
@@ -328,6 +334,10 @@ struct SharedMedium<M> {
     net_delay: Dur,
     queue: VecDeque<SendJob<M>>,
     in_service: Option<SendJob<M>>,
+    /// Current backlog before the wire (in-service job + queue),
+    /// maintained incrementally so highwater tracking costs O(1) per
+    /// event instead of a queue measurement.
+    depth: u64,
     used: bool,
 }
 
@@ -337,6 +347,7 @@ impl<M> SharedMedium<M> {
             net_delay,
             queue: VecDeque::new(),
             in_service: None,
+            depth: 0,
             used: false,
         }
     }
@@ -352,7 +363,8 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
         }
         // Full backlog standing before the wire: the in-service job
         // (always present here) plus everything queued behind it.
-        stats.queue_highwater = stats.queue_highwater.max(1 + self.queue.len() as u64);
+        self.depth += 1;
+        stats.queue_highwater = stats.queue_highwater.max(self.depth);
     }
 
     fn complete(&mut self, now: Time, _link: LinkId, fx: &mut NetFx<M>, stats: &mut NetStats) {
@@ -363,8 +375,9 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
         stats.wire_messages += 1;
         stats.net_busy += self.net_delay;
         let job = self.in_service.take().expect("NetDone for an idle network");
+        self.depth -= 1;
         for dest in job.dests.iter() {
-            fx.deliver.push((dest, job.from, job.msg.clone()));
+            fx.deliver.push((dest, job.from, Arc::clone(&job.msg)));
         }
         if let Some(next) = self.queue.pop_front() {
             self.in_service = Some(next);
@@ -373,12 +386,13 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
     }
 }
 
-/// One unicast copy on a switch link or WAN pair.
+/// One unicast copy on a switch link or WAN pair. Shares the payload
+/// allocation with its sibling copies (see [`SendJob`]).
 #[derive(Debug)]
 struct Unicast<M> {
     from: Pid,
     dest: Pid,
-    msg: M,
+    msg: Arc<M>,
 }
 
 /// One full-duplex switch link: its own server, its own FIFO.
@@ -386,6 +400,9 @@ struct Unicast<M> {
 struct Link<M> {
     queue: VecDeque<Unicast<M>>,
     in_service: Option<Unicast<M>>,
+    /// Backlog on this link (in-service + queued), kept incrementally
+    /// — see [`SharedMedium::depth`].
+    depth: u64,
     used: bool,
 }
 
@@ -394,6 +411,7 @@ impl<M> Link<M> {
         Link {
             queue: VecDeque::new(),
             in_service: None,
+            depth: 0,
             used: false,
         }
     }
@@ -433,7 +451,7 @@ impl<M: Message> Topology<M> for Switched<M> {
             let unicast = Unicast {
                 from: job.from,
                 dest,
-                msg: job.msg.clone(),
+                msg: Arc::clone(&job.msg),
             };
             if link.in_service.is_some() {
                 link.queue.push_back(unicast);
@@ -441,7 +459,8 @@ impl<M: Message> Topology<M> for Switched<M> {
                 link.in_service = Some(unicast);
                 fx.schedule.push((now + self.net_delay, LinkId(id)));
             }
-            stats.queue_highwater = stats.queue_highwater.max(1 + link.queue.len() as u64);
+            link.depth += 1;
+            stats.queue_highwater = stats.queue_highwater.max(link.depth);
         }
     }
 
@@ -454,6 +473,7 @@ impl<M: Message> Topology<M> for Switched<M> {
         stats.wire_messages += 1;
         stats.net_busy += self.net_delay;
         let unicast = l.in_service.take().expect("NetDone for an idle link");
+        l.depth -= 1;
         fx.deliver.push((unicast.dest, unicast.from, unicast.msg));
         if let Some(next) = l.queue.pop_front() {
             l.in_service = Some(next);
@@ -513,7 +533,7 @@ impl<M: Message> Topology<M> for Wan<M> {
             self.in_flight[id as usize].push_back(Unicast {
                 from: job.from,
                 dest,
-                msg: job.msg.clone(),
+                msg: Arc::clone(&job.msg),
             });
             fx.schedule.push((now + lat, LinkId(id)));
         }
@@ -632,7 +652,7 @@ mod tests {
         SendJob {
             from: Pid::new(from),
             dests: set,
-            msg,
+            msg: Arc::new(msg),
         }
     }
 
@@ -730,7 +750,7 @@ mod tests {
             m.complete(Time::from_millis(20), link, &mut fx, &mut stats);
         }
         // FIFO per pair: values arrive in send order.
-        let values: Vec<u64> = fx.deliver.iter().map(|(_, _, v)| *v).collect();
+        let values: Vec<u64> = fx.deliver.iter().map(|(_, _, v)| **v).collect();
         assert_eq!(values, vec![0, 1, 2]);
         assert_eq!(stats.net_busy, Dur::ZERO);
         assert_eq!(stats.queue_highwater, 0);

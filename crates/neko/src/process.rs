@@ -211,9 +211,18 @@ impl DestSet {
     }
 
     pub(crate) fn iter(self) -> impl Iterator<Item = Pid> {
-        (0..64)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(Pid::new)
+        // Walk set bits directly (clear-lowest-bit), so iterating a
+        // k-element set costs k steps rather than scanning all 64
+        // candidate positions — fan-out loops run this per message.
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(Pid::new(i))
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! The deterministic discrete-event simulator.
 
+use std::sync::Arc;
+
 use crate::inject::Injection;
 use crate::kernel::{Ev, Kernel, Schedule, SimCtx};
 use crate::net::{NetParams, NetStats, NetworkModel};
@@ -144,6 +146,13 @@ impl<P: Process> Sim<P> {
         self.kernel.stats
     }
 
+    /// The deepest the kernel event queue has ever been during this
+    /// run — pending timers, deliveries and resource completions all
+    /// count. A capacity gauge for large-n simulations.
+    pub fn event_queue_peak(&self) -> u64 {
+        self.kernel.queue_peak()
+    }
+
     /// Whether `p` has crashed (at or before the current time).
     pub fn is_crashed(&self, p: Pid) -> bool {
         self.kernel.is_crashed(p)
@@ -235,11 +244,7 @@ impl<P: Process> Sim<P> {
     pub fn run_until(&mut self, until: Time) -> usize {
         self.ensure_started();
         let mut processed = 0;
-        while let Some(at) = self.kernel.next_event_time() {
-            if at > until {
-                break;
-            }
-            let scheduled = self.kernel.pop().expect("peeked event vanished");
+        while let Some(scheduled) = self.kernel.pop_due(until) {
             self.kernel.now = scheduled.at;
             self.dispatch(scheduled.ev);
             processed += 1;
@@ -297,6 +302,12 @@ impl<P: Process> Sim<P> {
                     kernel.stats.dropped_to_crashed += 1;
                 } else {
                     kernel.stats.deliveries += 1;
+                    // The handler takes the message by value. Usually
+                    // this copy of the multicast is the last one alive
+                    // and the payload moves out of the `Arc` for free;
+                    // cloning happens only while siblings are still in
+                    // flight.
+                    let msg = Arc::try_unwrap(msg).unwrap_or_else(|m| (*m).clone());
                     let mut ctx = SimCtx { kernel, pid: to };
                     procs[to.index()].on_message(&mut ctx, from, msg);
                 }
