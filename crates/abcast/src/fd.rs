@@ -107,6 +107,11 @@ pub struct FdAbcast<P: Payload> {
     last_probe: Option<ProgressSig>,
     /// Consecutive probes with a frozen signature.
     stalled_probes: u32,
+    /// Reused action buffers for the inner rbcast/consensus machines.
+    /// Always empty between calls; kept only for their capacity (the
+    /// handlers otherwise allocate a fresh vector per wire message).
+    rb_scratch: Vec<RbAction<(MsgId, P)>>,
+    cons_scratch: Vec<ConsensusAction<Batch<P>>>,
     /// Local arrival order of pending messages — only consulted by
     /// the `mutation-skip-tiebreak` self-check build (see
     /// [`Self::apply_ready_decisions`]).
@@ -134,6 +139,8 @@ impl<P: Payload> FdAbcast<P> {
             suspects: suspects.clone(),
             last_probe: None,
             stalled_probes: 0,
+            rb_scratch: Vec::new(),
+            cons_scratch: Vec::new(),
             #[cfg(feature = "mutation-skip-tiebreak")]
             arrival: Vec::new(),
         }
@@ -182,10 +189,11 @@ impl<P: Payload> FdAbcast<P> {
             origin: bid.origin,
             seq: bid.seq,
         };
-        let mut rb_out = Vec::new();
+        let mut rb_out = std::mem::take(&mut self.rb_scratch);
         let assigned = self.rb.broadcast((id, payload), &mut rb_out);
         debug_assert_eq!(assigned, bid);
-        self.map_rb(rb_out, out);
+        self.map_rb(&mut rb_out, out);
+        self.rb_scratch = rb_out;
         id
     }
 
@@ -193,9 +201,10 @@ impl<P: Payload> FdAbcast<P> {
     pub fn on_message(&mut self, from: Pid, msg: FdCastMsg<P>, out: &mut Vec<FdCastAction<P>>) {
         match msg {
             FdCastMsg::Data(rbmsg) => {
-                let mut rb_out = Vec::new();
+                let mut rb_out = std::mem::take(&mut self.rb_scratch);
                 self.rb.on_message(from, rbmsg, &self.suspects, &mut rb_out);
-                self.map_rb(rb_out, out);
+                self.map_rb(&mut rb_out, out);
+                self.rb_scratch = rb_out;
             }
             FdCastMsg::Cons { k, inner } => {
                 if k > self.k {
@@ -210,9 +219,10 @@ impl<P: Payload> FdAbcast<P> {
                 let Some(inst) = self.instances.get_mut(&k) else {
                     return;
                 };
-                let mut cons_out = Vec::new();
+                let mut cons_out = std::mem::take(&mut self.cons_scratch);
                 inst.on_message(from, inner, &mut cons_out);
-                self.pump_cons(k, cons_out, out);
+                self.pump_cons(k, &mut cons_out, out);
+                self.cons_scratch = cons_out;
             }
             FdCastMsg::Nudge { k } => {
                 if k < self.k {
@@ -237,9 +247,10 @@ impl<P: Payload> FdAbcast<P> {
                     // proposal (coordinator) or estimate/ack
                     // (participant) the sender may have lost.
                     if let Some(inst) = self.instances.get(&k) {
-                        let mut cons_out = Vec::new();
+                        let mut cons_out = std::mem::take(&mut self.cons_scratch);
                         inst.resend_to(from, &mut cons_out);
-                        self.pump_cons(k, cons_out, out);
+                        self.pump_cons(k, &mut cons_out, out);
+                        self.cons_scratch = cons_out;
                     }
                 }
                 // k > self.k: the nudger is ahead; our own stall probe
@@ -287,9 +298,10 @@ impl<P: Payload> FdAbcast<P> {
         self.suspects.apply(ev);
         if let FdEvent::Suspect(p) = ev {
             // Lazy relay of undecided payloads from the suspect.
-            let mut rb_out = Vec::new();
+            let mut rb_out = std::mem::take(&mut self.rb_scratch);
             self.rb.on_suspect(p, &mut rb_out);
-            self.map_rb(rb_out, out);
+            self.map_rb(&mut rb_out, out);
+            self.rb_scratch = rb_out;
         }
         // Only the in-flight instance reacts to suspicions (the paper's
         // "the FD algorithm reacts only to the crash of the [current]
@@ -297,14 +309,15 @@ impl<P: Payload> FdAbcast<P> {
         // to their messages with the decision instead.
         let k = self.k;
         if let Some(inst) = self.instances.get_mut(&k) {
-            let mut cons_out = Vec::new();
+            let mut cons_out = std::mem::take(&mut self.cons_scratch);
             inst.on_fd(ev, &mut cons_out);
-            self.pump_cons(k, cons_out, out);
+            self.pump_cons(k, &mut cons_out, out);
+            self.cons_scratch = cons_out;
         }
     }
 
-    fn map_rb(&mut self, rb_out: Vec<RbAction<(MsgId, P)>>, out: &mut Vec<FdCastAction<P>>) {
-        for a in rb_out {
+    fn map_rb(&mut self, rb_out: &mut Vec<RbAction<(MsgId, P)>>, out: &mut Vec<FdCastAction<P>>) {
+        for a in rb_out.drain(..) {
             match a {
                 RbAction::Deliver {
                     payload: (id, p), ..
@@ -340,8 +353,13 @@ impl<P: Payload> FdAbcast<P> {
             self.instances
                 .insert(k, Consensus::new(cfg, &self.suspects));
         }
-        // Propose our current pending batch (no-op if already
-        // proposed; empty batches are valid when we were dragged in).
+        // Propose our current pending batch (empty batches are valid
+        // when we were dragged in). An instance proposes once, so skip
+        // cloning the pending set when the proposal would be a no-op.
+        let inst = &self.instances[&k];
+        if inst.has_proposed() || inst.has_decided() {
+            return;
+        }
         let batch = Batch {
             proposer: self.me,
             msgs: self
@@ -350,22 +368,23 @@ impl<P: Payload> FdAbcast<P> {
                 .map(|(id, p)| (*id, p.clone()))
                 .collect(),
         };
-        let mut cons_out = Vec::new();
+        let mut cons_out = std::mem::take(&mut self.cons_scratch);
         self.instances
             .get_mut(&k)
             .expect("inserted above")
             .propose(batch, &mut cons_out);
-        self.pump_cons(k, cons_out, out);
+        self.pump_cons(k, &mut cons_out, out);
+        self.cons_scratch = cons_out;
     }
 
     fn pump_cons(
         &mut self,
         k: u64,
-        cons_out: Vec<ConsensusAction<Batch<P>>>,
+        cons_out: &mut Vec<ConsensusAction<Batch<P>>>,
         out: &mut Vec<FdCastAction<P>>,
     ) {
         let mut decided = None;
-        for a in cons_out {
+        for a in cons_out.drain(..) {
             match a {
                 ConsensusAction::Send(p, m) => {
                     out.push(FdCastAction::Send(p, FdCastMsg::Cons { k, inner: m }));
@@ -440,9 +459,10 @@ impl<P: Payload> FdAbcast<P> {
                     let Some(inst) = self.instances.get_mut(&drained_k) else {
                         continue;
                     };
-                    let mut cons_out = Vec::new();
+                    let mut cons_out = std::mem::take(&mut self.cons_scratch);
                     inst.on_message(from, inner, &mut cons_out);
-                    self.pump_cons(drained_k, cons_out, out);
+                    self.pump_cons(drained_k, &mut cons_out, out);
+                    self.cons_scratch = cons_out;
                 }
             }
             self.ensure_instance(out);

@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use fdet::SuspectSet;
 use membership::{GmAction, GmMsg, Membership, Unstable, View, ViewId};
-use neko::{FdEvent, Pid};
+use neko::{DestSet, FdEvent, Pid};
 
 use crate::common::{MsgId, Payload};
 
@@ -202,7 +202,9 @@ pub struct GmAbcast<P: Payload> {
     store: BTreeMap<MsgId, (Option<u64>, P)>,
     assigned: BTreeMap<MsgId, u64>,
     by_sn: BTreeMap<u64, MsgId>,
-    acks: BTreeMap<u64, BTreeSet<Pid>>,
+    /// Ack bitmaps per sequence number: only membership and a count
+    /// are ever needed, so a [`DestSet`] replaces a tree of pids.
+    acks: BTreeMap<u64, DestSet>,
     deliverable: BTreeSet<u64>,
     /// Sequencer: messages with `Data` received but no `sn` yet.
     unsequenced: BTreeSet<MsgId>,
@@ -225,6 +227,11 @@ pub struct GmAbcast<P: Payload> {
     catching_up: bool,
     catchup_buf: Vec<(Pid, GmCastMsg<P>)>,
     future_inview: BTreeMap<ViewId, Vec<(Pid, GmCastMsg<P>)>>,
+    /// Flat copy of the current view minus us, rebuilt when the view
+    /// id changes — the in-view multicast paths clone this instead of
+    /// re-filtering the member tree per message.
+    others_cache: Vec<Pid>,
+    others_view: Option<ViewId>,
     /// View-change progress signature at the last repair probe.
     last_vc_probe: Option<(ViewId, Option<membership::VcSnapshot>)>,
     /// Consecutive probes with a frozen in-progress view change.
@@ -259,9 +266,22 @@ impl<P: Payload> GmAbcast<P> {
             catching_up: false,
             catchup_buf: Vec::new(),
             future_inview: BTreeMap::new(),
+            others_cache: Vec::new(),
+            others_view: None,
             last_vc_probe: None,
             stalled_vc_probes: 0,
         }
+    }
+
+    /// The current view's members other than us, as an owned vector
+    /// (the action type carries ownership). Cached per view id.
+    fn others_vec(&mut self) -> Vec<Pid> {
+        let vid = self.gm.view().id();
+        if self.others_view != Some(vid) {
+            self.others_cache = self.gm.view().others(self.me);
+            self.others_view = Some(vid);
+        }
+        self.others_cache.clone()
     }
 
     /// The A-delivery order so far.
@@ -524,11 +544,11 @@ impl<P: Payload> GmAbcast<P> {
     // ---- in-view protocol ----
 
     fn send_data(&mut self, id: MsgId, payload: P, out: &mut Vec<GmCastAction<P>>) {
-        let view = self.gm.view();
+        let dests = self.others_vec();
         out.push(GmCastAction::Multicast(
-            view.others(self.me),
+            dests,
             GmCastMsg::Data {
-                view: view.id(),
+                view: self.gm.view().id(),
                 id,
                 payload: payload.clone(),
             },
@@ -586,21 +606,23 @@ impl<P: Payload> GmAbcast<P> {
             pairs.push((id, sn));
         }
         self.batch_end = Some(self.next_sn);
-        let view = self.gm.view();
-        out.push(GmCastAction::Multicast(
-            view.others(self.me),
-            GmCastMsg::Seq {
-                view: view.id(),
-                sns: pairs.clone(),
-            },
-        ));
-        // The sequencer holds Data+Seq by construction.
+        // The sequencer holds Data+Seq by construction. Bookkeeping
+        // first (it emits nothing), so `pairs` can move into the
+        // message without a clone.
         for &(_, sn) in &pairs {
             self.note_ack(sn, self.me);
             if self.uniformity == Uniformity::NonUniform {
                 self.deliverable.insert(sn);
             }
         }
+        let dests = self.others_vec();
+        out.push(GmCastAction::Multicast(
+            dests,
+            GmCastMsg::Seq {
+                view: self.gm.view().id(),
+                sns: pairs,
+            },
+        ));
         self.flush_deliveries(out);
     }
 
@@ -676,16 +698,19 @@ impl<P: Payload> GmAbcast<P> {
     /// Sequencer, non-uniform: stability is the minimum cumulative ack
     /// across the other members (its own holdings are implicit).
     fn advance_cumulative_stability(&mut self) {
-        let others = self.gm.view().others(self.me);
-        if others.is_empty() {
+        let mut min = u64::MAX;
+        let mut any = false;
+        for &p in self.gm.view().members() {
+            if p == self.me {
+                continue;
+            }
+            any = true;
+            min = min.min(self.ack_cum.get(&p).copied().unwrap_or(0));
+        }
+        if !any {
             self.stable_up_to = self.next_sn;
             return;
         }
-        let min = others
-            .iter()
-            .map(|p| self.ack_cum.get(p).copied().unwrap_or(0))
-            .min()
-            .unwrap_or(0);
         self.stable_up_to = self.stable_up_to.max(min.min(self.next_sn));
     }
 
@@ -718,22 +743,23 @@ impl<P: Payload> GmAbcast<P> {
         let announce_stability =
             self.uniformity == Uniformity::NonUniform && self.stable_up_to > self.pruned_up_to;
         if !newly.is_empty() || announce_stability {
-            let view = self.gm.view();
+            let vid = self.gm.view().id();
             let msg = if self.uniformity == Uniformity::Uniform {
                 GmCastMsg::Deliver {
-                    view: view.id(),
+                    view: vid,
                     sns: newly,
                     stable_up_to: self.stable_up_to,
                 }
             } else {
                 // Non-uniform: pure stability announcement.
                 GmCastMsg::Deliver {
-                    view: view.id(),
+                    view: vid,
                     sns: Vec::new(),
                     stable_up_to: self.stable_up_to,
                 }
             };
-            out.push(GmCastAction::Multicast(view.others(self.me), msg));
+            let dests = self.others_vec();
+            out.push(GmCastAction::Multicast(dests, msg));
         }
         self.prune_stable();
         // Batch completion: everything in the outstanding batch is

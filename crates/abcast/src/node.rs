@@ -28,6 +28,25 @@ const TAG_VC_PROBE: u64 = 4;
 /// silent and steady-state message patterns are untouched.
 pub const STALL_PROBE_INTERVAL: Dur = Dur::from_millis(50);
 
+/// Probe period for a group of `n`: the historical 50 ms through
+/// n = 64 (pinning every recorded execution in that range bit for
+/// bit), growing linearly past it. A healthy consensus phase
+/// serializes O(n) one-millisecond receptions at the coordinator, so
+/// from n ≈ 100 a waiting process sees more than two 50 ms probe
+/// windows of pure silence and misreads routine coordination as a
+/// stall — every such process then multicasts a repair nudge, the
+/// O(n) resend replies slow the round further, and the "repair"
+/// sustains itself as a message storm. Scaling the window with the
+/// phase length keeps the probe what it is meant to be: a detector of
+/// *lost* messages, quiet while slow-but-healthy rounds complete.
+fn probe_interval(n: usize) -> Dur {
+    if n <= 64 {
+        STALL_PROBE_INTERVAL
+    } else {
+        Dur::from_millis(2 * n as u64)
+    }
+}
+
 impl<P: Payload> Message for FdCastMsg<P> {
     // Consensus aggregates whole batches per instance; no wire-level
     // coalescing is needed (or used by the paper) for the FD side.
@@ -85,6 +104,14 @@ impl<P: Payload> Message for GmCastMsg<P> {
 pub struct FdNode<P: Payload> {
     inner: FdAbcast<P>,
     probe_timer: Option<TimerId>,
+    /// Stall-probe period, scaled to the group size (see
+    /// [`probe_interval`]).
+    probe_after: Dur,
+    /// Every other process — the fixed multicast destination set,
+    /// computed once instead of per handler call.
+    others: Vec<Pid>,
+    /// Reused action buffer (cleared between handler calls).
+    actions: Vec<FdCastAction<P>>,
 }
 
 impl<P: Payload> FdNode<P> {
@@ -94,6 +121,9 @@ impl<P: Payload> FdNode<P> {
         FdNode {
             inner: FdAbcast::new(me, n, suspects_at_start),
             probe_timer: None,
+            probe_after: probe_interval(n),
+            others: Pid::all(n).filter(|&p| p != me).collect(),
+            actions: Vec::new(),
         }
     }
 
@@ -101,7 +131,7 @@ impl<P: Payload> FdNode<P> {
         if let Some(id) = self.probe_timer.take() {
             ctx.cancel_timer(id);
         }
-        self.probe_timer = Some(ctx.set_timer(STALL_PROBE_INTERVAL, TAG_STALL_PROBE));
+        self.probe_timer = Some(ctx.set_timer(self.probe_after, TAG_STALL_PROBE));
     }
 
     /// Disables the coordinator-renumbering optimisation (ablation).
@@ -115,17 +145,22 @@ impl<P: Payload> FdNode<P> {
         &self.inner
     }
 
-    fn run(&self, actions: Vec<FdCastAction<P>>, ctx: &mut dyn Ctx<FdCastMsg<P>, AbcastEvent<P>>) {
-        let others: Vec<Pid> = Pid::all(ctx.n()).filter(|&p| p != ctx.pid()).collect();
-        for a in actions {
+    fn run(
+        &mut self,
+        mut actions: Vec<FdCastAction<P>>,
+        ctx: &mut dyn Ctx<FdCastMsg<P>, AbcastEvent<P>>,
+    ) {
+        for a in actions.drain(..) {
             match a {
                 FdCastAction::Send(to, m) => ctx.send(to, m),
-                FdCastAction::Multicast(m) => ctx.multicast(&others, m),
+                FdCastAction::Multicast(m) => ctx.multicast(&self.others, m),
                 FdCastAction::Deliver { id, payload } => {
                     ctx.emit(AbcastEvent::Delivered { id, payload })
                 }
             }
         }
+        // Park the (now empty) buffer for the next handler call.
+        self.actions = actions;
     }
 }
 
@@ -146,7 +181,7 @@ impl<P: Payload> Process for FdNode<P> {
 
     fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
         if tag == TAG_STALL_PROBE && self.probe_timer == Some(id) {
-            let mut out = Vec::new();
+            let mut out = std::mem::take(&mut self.actions);
             self.inner.stall_probe(&mut out);
             self.arm_probe(ctx);
             self.run(out, ctx);
@@ -154,37 +189,40 @@ impl<P: Payload> Process for FdNode<P> {
     }
 
     fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.broadcast(cmd, &mut out);
         self.run(out, ctx);
     }
 
     fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.on_message(from, msg, &mut out);
         self.run(out, ctx);
     }
 
     fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.on_fd(ev, &mut out);
         self.run(out, ctx);
     }
 }
-
-/// How often a [`GmNode`] checks an in-progress view change for a
-/// stall (a flush or consensus message lost toward a member that had
-/// not yet adopted the view, or a cross-round consensus wedge).
-/// Coarse on purpose: a progressing view change resets the probe, so
-/// healthy runs see no repair traffic at all.
-pub const VC_PROBE_INTERVAL: Dur = Dur::from_millis(50);
 
 /// A process running the **GM algorithm** (fixed-sequencer atomic
 /// broadcast over group membership).
 #[derive(Debug)]
 pub struct GmNode<P: Payload> {
     inner: GmAbcast<P>,
+    /// Periodic check of an in-progress view change for a stall (a
+    /// flush or consensus message lost toward a member that had not
+    /// yet adopted the view, or a cross-round consensus wedge). A
+    /// progressing view change resets the probe, so healthy runs see
+    /// no repair traffic at all.
     vc_probe_timer: Option<TimerId>,
+    /// View-change-probe period, scaled to the group size (see
+    /// [`probe_interval`]).
+    probe_after: Dur,
+    /// Reused action buffer (cleared between handler calls).
+    actions: Vec<GmCastAction<P>>,
 }
 
 impl<P: Payload> GmNode<P> {
@@ -203,6 +241,8 @@ impl<P: Payload> GmNode<P> {
         GmNode {
             inner: GmAbcast::new(me, n, suspects_at_start, uniformity),
             vc_probe_timer: None,
+            probe_after: probe_interval(n),
+            actions: Vec::new(),
         }
     }
 
@@ -210,7 +250,7 @@ impl<P: Payload> GmNode<P> {
         if let Some(id) = self.vc_probe_timer.take() {
             ctx.cancel_timer(id);
         }
-        self.vc_probe_timer = Some(ctx.set_timer(VC_PROBE_INTERVAL, TAG_VC_PROBE));
+        self.vc_probe_timer = Some(ctx.set_timer(self.probe_after, TAG_VC_PROBE));
     }
 
     /// The wrapped state machine (inspection in tests/examples).
@@ -220,10 +260,10 @@ impl<P: Payload> GmNode<P> {
 
     fn run(
         &mut self,
-        actions: Vec<GmCastAction<P>>,
+        mut actions: Vec<GmCastAction<P>>,
         ctx: &mut dyn Ctx<GmCastMsg<P>, AbcastEvent<P>>,
     ) {
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 GmCastAction::Send(to, m) => ctx.send(to, m),
                 GmCastAction::Multicast(dests, m) => ctx.multicast(&dests, m),
@@ -241,6 +281,10 @@ impl<P: Payload> GmNode<P> {
                 }
             }
         }
+        // Park the (now empty) buffer for the next handler call. The
+        // recursive JoinNeeded arm above allocates its own vector, so
+        // only the outermost call's buffer is kept.
+        self.actions = actions;
     }
 }
 
@@ -254,19 +298,19 @@ impl<P: Payload> Process for GmNode<P> {
     }
 
     fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.broadcast(cmd, &mut out);
         self.run(out, ctx);
     }
 
     fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.on_message(from, msg, &mut out);
         self.run(out, ctx);
     }
 
     fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.inner.on_fd(ev, &mut out);
         self.run(out, ctx);
     }
@@ -275,7 +319,7 @@ impl<P: Payload> Process for GmNode<P> {
         // Retry timers armed before the crash are gone; restart
         // whatever loop our pre-crash state still needs.
         self.arm_vc_probe(ctx);
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         if self.inner.is_excluded() {
             self.inner.request_join(&mut out);
             ctx.set_timer(RETRY_INTERVAL, TAG_JOIN_RETRY);
@@ -286,7 +330,7 @@ impl<P: Payload> Process for GmNode<P> {
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         match tag {
             TAG_JOIN_RETRY if self.inner.is_excluded() => {
                 self.inner.request_join(&mut out);

@@ -162,6 +162,13 @@ impl<V: Value> Consensus<V> {
         self.decided
     }
 
+    /// Whether this process has already proposed its initial value
+    /// (further [`propose`](Self::propose) calls are no-ops, so a
+    /// caller can skip building the value altogether).
+    pub fn has_proposed(&self) -> bool {
+        self.proposed
+    }
+
     /// Diagnostic snapshot: `(round, phase, estimates, acks)`.
     #[doc(hidden)]
     pub fn debug_state(&self) -> (u32, &'static str, usize, usize) {

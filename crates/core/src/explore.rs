@@ -38,7 +38,8 @@ use std::fmt;
 use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
 use fdet::QosParams;
 use neko::{
-    derive_seed, stream_rng, Dur, NetParams, NetworkModel, Pid, Process, Schedule, SimBuilder, Time,
+    derive_seed, stream_rng, DestSet, Dur, NetParams, NetworkModel, Pid, Process, Schedule,
+    SimBuilder, Time,
 };
 use rand::RngCore;
 
@@ -164,6 +165,10 @@ pub struct Explorer {
     algorithms: Vec<Algorithm>,
     topologies: Vec<NetworkModel>,
     group_sizes: (usize, usize),
+    /// Size of the occasional large-group tuple (every 16th index),
+    /// exercising the multi-word destination masks; `None` disables
+    /// the class.
+    large_group: Option<usize>,
     throughput: f64,
     horizon: Dur,
     drain: Dur,
@@ -172,17 +177,19 @@ pub struct Explorer {
 }
 
 impl Explorer {
-    /// An explorer with the documented default budget: 500 tuples per
-    /// paper algorithm, groups of 3–5 on the shared-medium and
-    /// switched topologies, ~80 broadcasts/s over a 1.2 s horizon
+    /// An explorer with the documented default budget: 1000 tuples
+    /// per paper algorithm, groups of 3–5 on the shared-medium and
+    /// switched topologies (every 16th tuple a 64-process group on
+    /// the switched fabric), ~80 broadcasts/s over a 1.2 s horizon
     /// with a 2.5 s quiescence deadline.
     pub fn new(seed: u64) -> Self {
         Explorer {
             seed,
-            budget: 500,
+            budget: 1000,
             algorithms: Algorithm::PAPER.to_vec(),
             topologies: vec![NetworkModel::SharedMedium, NetworkModel::Switched],
             group_sizes: (3, 5),
+            large_group: Some(64),
             throughput: 80.0,
             horizon: Dur::from_millis(1_200),
             drain: Dur::from_millis(2_500),
@@ -211,10 +218,25 @@ impl Explorer {
         self
     }
 
-    /// Sets the inclusive range of group sizes drawn from.
+    /// Sets the inclusive range of group sizes drawn from (up to
+    /// [`neko::MAX_PROCESSES`] since the destination mask went
+    /// multi-word).
     pub fn with_group_sizes(mut self, lo: usize, hi: usize) -> Self {
-        assert!((1..=64).contains(&lo) && lo <= hi && hi <= 64, "bad range");
+        assert!(
+            (1..=neko::MAX_PROCESSES).contains(&lo) && lo <= hi && hi <= neko::MAX_PROCESSES,
+            "bad range"
+        );
         self.group_sizes = (lo, hi);
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the large-group tuple class:
+    /// every 16th tuple runs `n` processes on the switched topology.
+    pub fn with_large_group(mut self, n: Option<usize>) -> Self {
+        if let Some(n) = n {
+            assert!((2..=neko::MAX_PROCESSES).contains(&n), "bad group size");
+        }
+        self.large_group = n;
         self
     }
 
@@ -245,6 +267,11 @@ impl Explorer {
     pub fn tuple(&self, alg: Algorithm, index: usize) -> Tuple {
         let tseed = derive_seed(derive_seed(self.seed, alg_tag(alg)), index as u64);
         let mut rng = stream_rng(tseed, 0xEC5E);
+        if let Some(large_n) = self.large_group {
+            if index % 16 == 11 {
+                return self.large_tuple(alg, index, large_n, tseed, &mut rng);
+            }
+        }
         let (lo, hi) = self.group_sizes;
         let n = lo + (rng.next_u64() as usize) % (hi - lo + 1);
         let minority = (n - 1) / 2;
@@ -325,6 +352,57 @@ impl Explorer {
             script,
             seed: derive_seed(tseed, 3),
             throughput: self.throughput,
+            horizon: self.horizon,
+            drain: self.drain,
+        }
+    }
+
+    /// The large-group tuple class: `n` processes on the switched
+    /// fabric (shared-medium contention at this scale starves the
+    /// drain window), same schedule-policy mix as the main corpus,
+    /// and at most one crash — the class exists to push traffic
+    /// through the multi-word destination masks under adversarial
+    /// schedules, not to churn 64-member views.
+    fn large_tuple(
+        &self,
+        alg: Algorithm,
+        _index: usize,
+        n: usize,
+        tseed: u64,
+        rng: &mut impl RngCore,
+    ) -> Tuple {
+        // Drawn from the tuple's own stream rather than `index % 8`:
+        // large indices share a residue class mod 8, which would pin
+        // the whole class to one policy.
+        let schedule = match rng.next_u64() % 8 {
+            0 => Schedule::Fifo,
+            1..=5 => Schedule::SeededRandom(derive_seed(tseed, 1)),
+            _ => Schedule::Pct {
+                seed: derive_seed(tseed, 2),
+                change_period: 3 + (rng.next_u64() % 14) as u32,
+            },
+        };
+        let horizon_ms = self.horizon.as_micros() / 1_000;
+        let mut script = FaultScript::default();
+        if rng.next_u64().is_multiple_of(2) {
+            let victim = Pid::new(n - 1);
+            let at_ms = horizon_ms / 8 + rng.next_u64() % (horizon_ms / 2);
+            let detection = Dur::from_millis(10 + rng.next_u64() % 30);
+            script = script.crash(ScriptTime::At(Time::from_millis(at_ms)), victim, detection);
+        }
+        Tuple {
+            alg,
+            n,
+            topology: NetworkModel::Switched,
+            schedule,
+            script,
+            seed: derive_seed(tseed, 3),
+            // The aggregate rate is scaled down so the *per-process*
+            // load matches the small corpus — at the full 80/s a
+            // 64-way fan-out saturates every CPU and the backlog
+            // outlives the drain window, reporting overload as a
+            // (bogus) liveness violation.
+            throughput: self.throughput * 6.0 / n as f64,
             horizon: self.horizon,
             drain: self.drain,
         }
@@ -572,11 +650,14 @@ fn drive<P>(
 where
     P: Process<Cmd = u64, Out = AbcastEvent<u64>>,
 {
+    // Recycle the previous tuple's kernel allocations parked on this
+    // worker thread; the verdict stays a pure function of the tuple
+    // (see `crate::scratch`).
     let mut sim = SimBuilder::new(t.n)
         .seed(t.seed)
         .network(NetParams::default().with_model(t.topology))
         .schedule(t.schedule)
-        .build_with(factory);
+        .build_with_scratch(factory, crate::scratch::take::<P>());
     for (at, act) in compiled.entries() {
         match act {
             ScriptAction::Inject(inj) => sim.schedule_injection(*at, inj.clone()),
@@ -588,7 +669,9 @@ where
     }
     sim.run_until(end);
     let collapsed = wedged(&sim);
-    (oracle::delivery_logs(t.n, sim.take_outputs()), collapsed)
+    let logs = oracle::delivery_logs(t.n, sim.take_outputs());
+    crate::scratch::put::<P>(sim.into_scratch());
+    (logs, collapsed)
 }
 
 /// Safety margin around a partition window: a message emitted this
@@ -634,14 +717,15 @@ fn expectations(
             at >= from && at < *heal + PARTITION_MARGIN
         })
     };
-    // Processes cut off from the largest partition group.
-    let mut minority_mask = 0u64;
+    // Processes cut off from the largest partition group. A DestSet
+    // (multi-word mask) keeps the bookkeeping valid past 64 processes.
+    let mut minority = DestSet::new();
     for ev in t.script.events() {
         if let FaultEvent::Partition { groups, .. } = ev {
             let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
             for group in groups.iter().filter(|g| g.len() < largest) {
                 for p in group {
-                    minority_mask |= 1 << p.index();
+                    minority.insert(*p);
                 }
             }
         }
@@ -658,15 +742,15 @@ fn expectations(
     // guaranteed. Edges whose observer cannot carry a view change —
     // it is down, or itself cut off in a partition minority — do not
     // endanger the subject and are ignored.
-    let mut ever_suspected = 0u64;
+    let mut ever_suspected = DestSet::new();
     for (at, act) in compiled.entries() {
         if let ScriptAction::Inject(neko::Injection::Fd(q, neko::FdEvent::Suspect(p))) = act {
             let observer_down = down[q.index()]
                 .iter()
                 .any(|(from, until)| *at >= *from && until.is_none_or(|u| *at < u));
-            let observer_cut = minority_mask & (1 << q.index()) != 0 && partitioned(*at);
+            let observer_cut = minority.contains(*q) && partitioned(*at);
             if !observer_down && !observer_cut {
-                ever_suspected |= 1 << p.index();
+                ever_suspected.insert(*p);
             }
         }
     }
@@ -683,7 +767,7 @@ fn expectations(
         let down_or_boundary = down[p.index()].iter().any(|(from, until)| {
             (at >= *from && until.is_none_or(|u| at < u)) || Some(at) == *until
         });
-        if !down_or_boundary && !partitioned(at) && ever_suspected & (1 << p.index()) == 0 {
+        if !down_or_boundary && !partitioned(at) && !ever_suspected.contains(p) {
             must_deliver.insert(v);
         }
     }
@@ -695,15 +779,16 @@ fn expectations(
     // attempt* never learns of the exclusion at all, so no deadline
     // applies to it (the pre-existing proptests hold the same line:
     // only never-disturbed processes owe full logs).
-    let mut excluded = ever_suspected | minority_mask;
+    let mut excluded = ever_suspected;
+    for p in minority.iter() {
+        excluded.insert(p);
+    }
     for (i, intervals) in down.iter().enumerate() {
         if !intervals.is_empty() {
-            excluded |= 1 << i;
+            excluded.insert(Pid::new(i));
         }
     }
-    let correct = Pid::all(n)
-        .filter(|p| excluded & (1 << p.index()) == 0)
-        .collect();
+    let correct = Pid::all(n).filter(|&p| !excluded.contains(p)).collect();
     Expectations {
         sent,
         must_deliver,

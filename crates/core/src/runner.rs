@@ -586,12 +586,18 @@ where
     let n = params.n;
     match params.backend {
         Backend::Sim => {
+            // Recycle the previous run's kernel allocations (timing
+            // wheel, CPU queues, topology tables) parked on this
+            // worker thread; results are unaffected (see
+            // `crate::scratch`).
             let mut rt: Sim<P> = SimBuilder::new(n)
                 .seed(seed)
                 .network(params.net)
                 .schedule(params.schedule)
-                .build_with(factory);
-            drive(&mut rt, compiled, params, seed, end)
+                .build_with_scratch(factory, crate::scratch::take::<P>());
+            let run = drive(&mut rt, compiled, params, seed, end);
+            crate::scratch::put::<P>(rt.into_scratch());
+            run
         }
         Backend::Real => {
             let config = RealConfig::new()

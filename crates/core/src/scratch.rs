@@ -1,0 +1,81 @@
+//! Thread-local recycling of simulator allocations across runs.
+//!
+//! Drivers that execute many short simulations back-to-back on the
+//! same worker thread — [`crate::explore`], replication sweeps — spend
+//! a large share of their time rebuilding the kernel: 704 timing-wheel
+//! slot vectors, per-host CPU queues, n² switch link tables, output
+//! buffers. This pool parks the finished simulation's allocations
+//! ([`neko::SimScratch`]) per thread and per process type, so the next
+//! run on the same thread recycles them via
+//! [`neko::SimBuilder::build_with_scratch`].
+//!
+//! Reuse is strictly an allocator optimisation: a recycled kernel is
+//! semantically indistinguishable from a fresh one, so every verdict
+//! and measurement stays a pure function of its inputs (the
+//! determinism regressions in `tests/explore.rs` pin byte-identical
+//! explorer output with reuse on and off). The pool can be disabled
+//! with the environment variable `STUDY_RUN_SCRATCH=0` or, for tests,
+//! programmatically via [`set_run_scratch`].
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use neko::{Process, SimScratch};
+
+/// 0 = follow `STUDY_RUN_SCRATCH` (default on), 1 = on, 2 = off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static ENV_DEFAULT: OnceLock<bool> = OnceLock::new();
+
+/// Forces simulator-allocation reuse on or off for the whole process,
+/// overriding the `STUDY_RUN_SCRATCH` environment variable. Intended
+/// for tests that compare reuse-on and reuse-off executions.
+pub fn set_run_scratch(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *ENV_DEFAULT
+            .get_or_init(|| std::env::var("STUDY_RUN_SCRATCH").map_or(true, |v| v != "0")),
+    }
+}
+
+thread_local! {
+    /// One parked scratch per concrete `SimScratch<M, C, O>` type.
+    static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Takes this thread's parked scratch for process type `P`, if any.
+pub(crate) fn take<P: Process>() -> Option<SimScratch<P::Msg, P::Cmd, P::Out>> {
+    if !enabled() {
+        return None;
+    }
+    POOL.with(|pool| {
+        pool.borrow_mut()
+            .remove(&TypeId::of::<SimScratch<P::Msg, P::Cmd, P::Out>>())
+    })
+    .map(|boxed| {
+        *boxed
+            .downcast::<SimScratch<P::Msg, P::Cmd, P::Out>>()
+            .expect("pool entry keyed by its own TypeId")
+    })
+}
+
+/// Parks a finished simulation's allocations for the next run of the
+/// same process type on this thread.
+pub(crate) fn put<P: Process>(scratch: SimScratch<P::Msg, P::Cmd, P::Out>) {
+    if !enabled() {
+        return;
+    }
+    POOL.with(|pool| {
+        pool.borrow_mut().insert(
+            TypeId::of::<SimScratch<P::Msg, P::Cmd, P::Out>>(),
+            Box::new(scratch),
+        );
+    });
+}

@@ -11,7 +11,7 @@
 //! leave the sending host's CPU; messages already on the wire still
 //! arrive).
 
-use crate::process::{FdEvent, Pid};
+use crate::process::{DestSet, FdEvent, Pid};
 
 /// One kernel-level fault injection.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,8 +51,8 @@ pub enum Injection {
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
-    /// One bit mask of members per group.
-    masks: Vec<u64>,
+    /// One member set per group.
+    masks: Vec<DestSet>,
 }
 
 impl Partition {
@@ -63,14 +63,13 @@ impl Partition {
     /// Panics if the groups are not disjoint.
     pub fn split(groups: &[Vec<Pid>]) -> Self {
         let mut masks = Vec::with_capacity(groups.len());
-        let mut seen = 0u64;
+        let mut seen = DestSet::new();
         for group in groups {
-            let mut mask = 0u64;
+            let mut mask = DestSet::new();
             for &p in group {
-                let bit = 1u64 << p.index();
-                assert_eq!(seen & bit, 0, "{p} appears in two partition groups");
-                seen |= bit;
-                mask |= bit;
+                assert!(!seen.contains(p), "{p} appears in two partition groups");
+                seen.insert(p);
+                mask.insert(p);
             }
             masks.push(mask);
         }
@@ -89,12 +88,11 @@ impl Partition {
         if a == b {
             return true;
         }
-        let (a, b) = (1u64 << a.index(), 1u64 << b.index());
-        self.masks.iter().any(|m| m & a != 0 && m & b != 0)
+        self.masks.iter().any(|m| m.contains(a) && m.contains(b))
     }
 
-    /// The member groups, as bit masks over process indices.
-    pub fn group_masks(&self) -> &[u64] {
+    /// The member groups, as sets over process indices.
+    pub fn group_masks(&self) -> &[DestSet] {
         &self.masks
     }
 }

@@ -13,9 +13,9 @@ use rand::RngCore;
 
 use crate::inject::Partition;
 use crate::net::{
-    build_topology, Cpu, CpuJob, LinkId, NetFx, NetParams, NetStats, SendJob, Topology,
+    build_topology, Cpu, CpuJob, LinkId, NetFx, NetParams, NetStats, Payload, SendJob, Topology,
 };
-use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId};
+use crate::process::{Ctx, DestSet, FdEvent, Message, Pid, TimerId, MAX_PROCESSES};
 use crate::rng::stream_rng;
 use crate::time::{Dur, Time};
 use crate::wheel::TimingWheel;
@@ -110,11 +110,12 @@ impl TieBreaker {
 pub(crate) enum Ev<M, C> {
     /// Driver-injected command for a process.
     Cmd { to: Pid, cmd: C },
-    /// Message ready for the application layer of `to`. The payload
-    /// is shared with any sibling copies of the same multicast; the
-    /// dispatcher unwraps it (or clones, if siblings are still in
-    /// flight) at the handler boundary.
-    Deliver { to: Pid, from: Pid, msg: Arc<M> },
+    /// Message ready for the application layer of `to`. A multicast
+    /// payload is shared with any sibling copies still in flight; the
+    /// dispatcher unwraps it (or clones, if siblings remain) at the
+    /// handler boundary. A unicast payload arrives owned and moves
+    /// straight through.
+    Deliver { to: Pid, from: Pid, msg: Payload<M> },
     /// Failure-detector edge at process `at`.
     Fd { at: Pid, ev: FdEvent },
     /// Timer armed by `at`.
@@ -161,7 +162,7 @@ pub(crate) struct Kernel<M: Message, C, O> {
     fx: NetFx<M>,
     pub(crate) crashed: Vec<Option<Time>>,
     partition: Option<Partition>,
-    suspects: Vec<u64>,
+    suspects: Vec<DestSet>,
     cancelled_timers: BTreeSet<u64>,
     next_timer: u64,
     rngs: Vec<SmallRng>,
@@ -184,7 +185,10 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         seed: u64,
         schedule: Schedule,
     ) -> Self {
-        assert!((1..=64).contains(&n), "n must be in 1..=64");
+        assert!(
+            (1..=MAX_PROCESSES).contains(&n),
+            "n must be in 1..={MAX_PROCESSES}"
+        );
         Kernel {
             now: Time::ZERO,
             seq: 0,
@@ -196,7 +200,7 @@ impl<M: Message, C, O> Kernel<M, C, O> {
             fx: NetFx::default(),
             crashed: vec![None; n],
             partition: None,
-            suspects: vec![0; n],
+            suspects: vec![DestSet::new(); n],
             cancelled_timers: BTreeSet::new(),
             next_timer: 0,
             rngs: (0..n)
@@ -239,8 +243,8 @@ impl<M: Message, C, O> Kernel<M, C, O> {
         self.crashed[p.index()].is_some()
     }
 
-    pub(crate) fn suspect_mask(&self, p: Pid) -> u64 {
-        self.suspects[p.index()]
+    pub(crate) fn suspect_mask(&self, p: Pid) -> &DestSet {
+        &self.suspects[p.index()]
     }
 
     /// Applies an FD edge to the suspect mask of `at`; returns `false`
@@ -248,19 +252,19 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     /// be delivered to the process.
     pub(crate) fn fd_apply(&mut self, at: Pid, ev: FdEvent) -> bool {
         let mask = &mut self.suspects[at.index()];
-        let bit = 1u64 << ev.subject().index();
+        let subject = ev.subject();
         match ev {
             FdEvent::Suspect(_) => {
-                if *mask & bit != 0 {
+                if mask.contains(subject) {
                     return false;
                 }
-                *mask |= bit;
+                mask.insert(subject);
             }
             FdEvent::Trust(_) => {
-                if *mask & bit == 0 {
+                if !mask.contains(subject) {
                     return false;
                 }
-                *mask &= !bit;
+                mask.remove(subject);
             }
         }
         true
@@ -269,21 +273,22 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     /// Hands a message to the sending host's CPU, possibly coalescing
     /// it with the message at the tail of the send queue.
     ///
-    /// The payload arrives interned: one [`Arc`] is shared by every
-    /// wire copy and delivery of this send, so fan-out never clones
-    /// the message itself. Coalescing goes through [`Arc::make_mut`]:
-    /// if the queued tail is still shared (e.g. with a pending local
-    /// self-delivery of the same multicast), the merge copies it on
-    /// write — exactly the independent-copies semantics the engine
-    /// had when every destination cloned eagerly.
-    pub(crate) fn send_from(&mut self, from: Pid, dests: DestSet, msg: Arc<M>) {
+    /// A multicast payload arrives interned: one [`Arc`] is shared by
+    /// every wire copy and delivery of the send, so fan-out never
+    /// clones the message itself. A unicast payload arrives owned and
+    /// never touches the allocator. Coalescing goes through
+    /// [`Payload::make_mut`]: if the queued tail is still shared (e.g.
+    /// with a pending local self-delivery of the same multicast), the
+    /// merge copies it on write — exactly the independent-copies
+    /// semantics the engine had when every destination cloned eagerly.
+    pub(crate) fn send_from(&mut self, from: Pid, dests: DestSet, msg: Payload<M>) {
         if dests.is_empty() {
             return;
         }
         let cpu = &mut self.cpus[from.index()];
         if self.params.coalescing() {
             if let Some(CpuJob::Send(tail)) = cpu.queue.back_mut() {
-                if tail.dests == dests && Arc::make_mut(&mut tail.msg).try_merge(&msg) {
+                if tail.dests == dests && tail.msg.make_mut().try_merge(msg.get()) {
                     self.stats.merges += 1;
                     return;
                 }
@@ -402,6 +407,47 @@ impl<M: Message, C, O> Kernel<M, C, O> {
     pub(crate) fn timer_fires(&mut self, id: TimerId) -> bool {
         self.cancelled_timers.is_empty() || !self.cancelled_timers.remove(&id.0)
     }
+
+    /// Re-initialises the kernel in place for a fresh run, keeping
+    /// every allocation that survives re-parameterisation: the timing
+    /// wheel's slot vectors, CPU queue buffers, topology link tables
+    /// and effect buffers. Semantically the result is indistinguishable
+    /// from [`Kernel::with_schedule`] — a recycled kernel must produce
+    /// bit-identical executions (the determinism suites pin this).
+    pub(crate) fn recycle(&mut self, n: usize, params: NetParams, seed: u64, schedule: Schedule) {
+        assert!(
+            (1..=MAX_PROCESSES).contains(&n),
+            "n must be in 1..={MAX_PROCESSES}"
+        );
+        self.now = Time::ZERO;
+        self.seq = 0;
+        self.queue.reset();
+        self.n = n;
+        self.params = params;
+        self.cpus.resize_with(n, Cpu::new);
+        for cpu in &mut self.cpus {
+            cpu.queue.clear();
+            cpu.in_service = None;
+        }
+        if !self.net.recycle(&params, n, seed) {
+            self.net = build_topology(&params, n, seed);
+        }
+        self.fx.deliver.clear();
+        self.fx.schedule.clear();
+        self.crashed.clear();
+        self.crashed.resize(n, None);
+        self.partition = None;
+        self.suspects.clear();
+        self.suspects.resize(n, DestSet::new());
+        self.cancelled_timers.clear();
+        self.next_timer = 0;
+        self.rngs.clear();
+        self.rngs
+            .extend((0..n).map(|i| stream_rng(seed, 0x5EED_0000 + i as u64)));
+        self.tie_breaker = TieBreaker::new(schedule);
+        self.outputs.clear();
+        self.stats = NetStats::default();
+    }
 }
 
 /// The [`Ctx`] implementation backed by the simulation kernel.
@@ -425,9 +471,8 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
 
     fn send(&mut self, to: Pid, msg: M) {
         self.kernel.stats.send_calls += 1;
-        // Intern the payload once; every queue hop from here on moves
-        // a pointer, not the message.
-        let msg = Arc::new(msg);
+        // A unicast never fans out, so the payload stays owned: no
+        // Arc interning, every queue hop moves the message by value.
         if to == self.pid {
             self.kernel.stats.self_deliveries += 1;
             let now = self.kernel.now;
@@ -436,19 +481,17 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
                 Ev::Deliver {
                     to,
                     from: self.pid,
-                    msg,
+                    msg: Payload::Own(msg),
                 },
             );
         } else {
-            let mut dests = DestSet::default();
-            dests.insert(to);
-            self.kernel.send_from(self.pid, dests, msg);
+            self.kernel
+                .send_from(self.pid, DestSet::single(to), Payload::Own(msg));
         }
     }
 
     fn multicast(&mut self, dests: &[Pid], msg: M) {
         self.kernel.stats.send_calls += 1;
-        let msg = Arc::new(msg);
         let mut remote = DestSet::default();
         let mut to_self = false;
         for &d in dests {
@@ -458,7 +501,12 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
                 remote.insert(d);
             }
         }
-        if to_self {
+        // Intern only when copies actually share the payload: a
+        // self-copy plus remote copies, or a true multi-destination
+        // fan-out. A degenerate single-copy multicast rides owned,
+        // like a unicast.
+        let msg = if to_self && !remote.is_empty() {
+            let msg = Arc::new(msg);
             self.kernel.stats.self_deliveries += 1;
             let now = self.kernel.now;
             self.kernel.schedule(
@@ -466,10 +514,27 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
                 Ev::Deliver {
                     to: self.pid,
                     from: self.pid,
-                    msg: Arc::clone(&msg),
+                    msg: Payload::Shared(Arc::clone(&msg)),
                 },
             );
-        }
+            Payload::Shared(msg)
+        } else if to_self {
+            self.kernel.stats.self_deliveries += 1;
+            let now = self.kernel.now;
+            self.kernel.schedule(
+                now,
+                Ev::Deliver {
+                    to: self.pid,
+                    from: self.pid,
+                    msg: Payload::Own(msg),
+                },
+            );
+            return;
+        } else if remote.as_single().is_some() {
+            Payload::Own(msg)
+        } else {
+            Payload::Shared(Arc::new(msg))
+        };
         self.kernel.send_from(self.pid, remote, msg);
     }
 
@@ -503,7 +568,7 @@ impl<M: Message, C, O> Ctx<M, O> for SimCtx<'_, M, C, O> {
     }
 
     fn is_suspected(&self, p: Pid) -> bool {
-        self.kernel.suspects[self.pid.index()] & (1 << p.index()) != 0
+        self.kernel.suspects[self.pid.index()].contains(p)
     }
 
     fn rng(&mut self) -> &mut dyn RngCore {
@@ -550,10 +615,10 @@ mod tests {
         let p1 = Pid::new(1);
         assert!(k.fd_apply(p0, FdEvent::Suspect(p1)));
         assert!(!k.fd_apply(p0, FdEvent::Suspect(p1)));
-        assert_eq!(k.suspect_mask(p0), 0b10);
+        assert_eq!(*k.suspect_mask(p0), DestSet::single(p1));
         assert!(k.fd_apply(p0, FdEvent::Trust(p1)));
         assert!(!k.fd_apply(p0, FdEvent::Trust(p1)));
-        assert_eq!(k.suspect_mask(p0), 0);
+        assert!(k.suspect_mask(p0).is_empty());
     }
 
     #[test]
@@ -569,7 +634,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n must be in 1..=64")]
+    #[should_panic(expected = "n must be in 1..=256")]
     fn zero_processes_rejected() {
         let _: K = Kernel::new(0, NetParams::default(), 1);
     }

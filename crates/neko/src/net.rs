@@ -225,24 +225,94 @@ impl Default for WanParams {
     }
 }
 
-/// A message travelling from `from` to the destination set `dests`.
+/// A payload travelling through the engine: either uniquely owned or
+/// interned behind an [`Arc`].
 ///
-/// The payload is interned behind an [`Arc`]: the sender's CPU queue,
-/// every wire copy and every destination CPU share one allocation, so
-/// fanning a multicast out to `k` links bumps a refcount `k` times
-/// instead of deep-cloning the message `k` times.
+/// Multicasts intern once ([`Payload::Shared`]) so the sender's CPU
+/// queue, every wire copy and every destination CPU share one
+/// allocation — fanning out to `k` links bumps a refcount `k` times
+/// instead of deep-cloning the message. A unicast never fans out, so
+/// it skips the `Arc` round-trip entirely ([`Payload::Own`]): the
+/// message moves through CPU queue, wire and delivery by value, no
+/// heap allocation at all.
+#[derive(Clone, Debug)]
+pub(crate) enum Payload<M> {
+    /// Uniquely owned — the single-destination fast path.
+    Own(M),
+    /// Interned once; shared by every fan-out copy.
+    Shared(Arc<M>),
+}
+
+impl<M: Message> Payload<M> {
+    /// Borrows the message.
+    pub(crate) fn get(&self) -> &M {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+
+    /// Mutable access for coalescing. A still-shared `Arc` (e.g. with
+    /// a pending local self-delivery of the same multicast) is copied
+    /// on write, exactly the [`Arc::make_mut`] semantics the engine
+    /// has always had; an owned payload merges in place.
+    pub(crate) fn make_mut(&mut self) -> &mut M {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(a) => Arc::make_mut(a),
+        }
+    }
+
+    /// The message, owned — moves out when unique, clones only while
+    /// sibling fan-out copies are still in flight.
+    pub(crate) fn into_inner(self) -> M {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|m| (*m).clone()),
+        }
+    }
+}
+
+/// A message travelling from `from` to the destination set `dests`.
 #[derive(Clone, Debug)]
 pub(crate) struct SendJob<M> {
     pub(crate) from: Pid,
     pub(crate) dests: DestSet,
-    pub(crate) msg: Arc<M>,
+    pub(crate) msg: Payload<M>,
+}
+
+impl<M: Message> SendJob<M> {
+    /// Splits the job into one `(from, dest, payload)` copy per
+    /// destination without cloning the message when the destination
+    /// is unique — the fan-out primitive every topology uses.
+    fn fan_out(self, mut f: impl FnMut(Pid, Pid, Payload<M>)) {
+        let SendJob { from, dests, msg } = self;
+        match msg {
+            Payload::Own(m) => match dests.as_single() {
+                Some(dest) => f(from, dest, Payload::Own(m)),
+                None => {
+                    // An owned payload normally rides a single-member
+                    // set; intern late if a caller fanned one out.
+                    let arc = Arc::new(m);
+                    for dest in dests.iter() {
+                        f(from, dest, Payload::Shared(Arc::clone(&arc)));
+                    }
+                }
+            },
+            Payload::Shared(arc) => {
+                for dest in dests.iter() {
+                    f(from, dest, Payload::Shared(Arc::clone(&arc)));
+                }
+            }
+        }
+    }
 }
 
 /// Work queued on a host CPU: either emitting or receiving a message.
 #[derive(Clone, Debug)]
 pub(crate) enum CpuJob<M> {
     Send(SendJob<M>),
-    Recv { from: Pid, msg: Arc<M> },
+    Recv { from: Pid, msg: Payload<M> },
 }
 
 /// One host CPU: a single server with a FIFO queue shared by
@@ -283,7 +353,7 @@ impl LinkId {
 #[derive(Debug)]
 pub(crate) struct NetFx<M> {
     /// `(dest, from, msg)` triples ready for the destination CPU.
-    pub(crate) deliver: Vec<(Pid, Pid, Arc<M>)>,
+    pub(crate) deliver: Vec<(Pid, Pid, Payload<M>)>,
     /// `Ev::NetDone { link }` events to schedule.
     pub(crate) schedule: Vec<(Time, LinkId)>,
 }
@@ -311,6 +381,13 @@ pub(crate) trait Topology<M: Message> {
 
     /// The transmission tracked by `link` finished.
     fn complete(&mut self, now: Time, link: LinkId, fx: &mut NetFx<M>, stats: &mut NetStats);
+
+    /// Re-initialises the topology in place for a fresh run with the
+    /// given parameters, keeping its allocations (link vectors, FIFO
+    /// capacities) when possible. Returns `false` when this instance
+    /// cannot represent `params` (e.g. a shared medium asked to become
+    /// a switch) — the caller then rebuilds via [`build_topology`].
+    fn recycle(&mut self, params: &NetParams, n: usize, seed: u64) -> bool;
 }
 
 /// Builds the topology selected by `params` for a system of `n`
@@ -376,13 +453,23 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
         stats.net_busy += self.net_delay;
         let job = self.in_service.take().expect("NetDone for an idle network");
         self.depth -= 1;
-        for dest in job.dests.iter() {
-            fx.deliver.push((dest, job.from, Arc::clone(&job.msg)));
-        }
+        job.fan_out(|from, dest, msg| fx.deliver.push((dest, from, msg)));
         if let Some(next) = self.queue.pop_front() {
             self.in_service = Some(next);
             fx.schedule.push((now + self.net_delay, LinkId::SHARED));
         }
+    }
+
+    fn recycle(&mut self, params: &NetParams, _n: usize, _seed: u64) -> bool {
+        if params.model() != NetworkModel::SharedMedium {
+            return false;
+        }
+        self.net_delay = params.net_delay();
+        self.queue.clear();
+        self.in_service = None;
+        self.depth = 0;
+        self.used = false;
+        true
     }
 }
 
@@ -392,7 +479,7 @@ impl<M: Message> Topology<M> for SharedMedium<M> {
 struct Unicast<M> {
     from: Pid,
     dest: Pid,
-    msg: Arc<M>,
+    msg: Payload<M>,
 }
 
 /// One full-duplex switch link: its own server, its own FIFO.
@@ -434,10 +521,6 @@ impl<M> Switched<M> {
             links: (0..n * n).map(|_| Link::new()).collect(),
         }
     }
-
-    fn link_index(&self, from: Pid, dest: Pid) -> u32 {
-        from.index() as u32 * self.n + dest.index() as u32
-    }
 }
 
 impl<M: Message> Topology<M> for Switched<M> {
@@ -445,23 +528,21 @@ impl<M: Message> Topology<M> for Switched<M> {
         // A multicast becomes one unicast per destination; each copy
         // occupies only its own link, so copies to distinct hosts
         // transmit in parallel.
-        for dest in job.dests.iter() {
-            let id = self.link_index(job.from, dest);
+        let net_delay = self.net_delay;
+        let n = self.n;
+        job.fan_out(|from, dest, msg| {
+            let id = from.index() as u32 * n + dest.index() as u32;
             let link = &mut self.links[id as usize];
-            let unicast = Unicast {
-                from: job.from,
-                dest,
-                msg: Arc::clone(&job.msg),
-            };
+            let unicast = Unicast { from, dest, msg };
             if link.in_service.is_some() {
                 link.queue.push_back(unicast);
             } else {
                 link.in_service = Some(unicast);
-                fx.schedule.push((now + self.net_delay, LinkId(id)));
+                fx.schedule.push((now + net_delay, LinkId(id)));
             }
             link.depth += 1;
             stats.queue_highwater = stats.queue_highwater.max(link.depth);
-        }
+        });
     }
 
     fn complete(&mut self, now: Time, link: LinkId, fx: &mut NetFx<M>, stats: &mut NetStats) {
@@ -480,6 +561,22 @@ impl<M: Message> Topology<M> for Switched<M> {
             fx.schedule.push((now + self.net_delay, link));
         }
     }
+
+    fn recycle(&mut self, params: &NetParams, n: usize, _seed: u64) -> bool {
+        if params.model() != NetworkModel::Switched {
+            return false;
+        }
+        self.n = n as u32;
+        self.net_delay = params.net_delay();
+        self.links.resize_with(n * n, Link::new);
+        for link in &mut self.links {
+            link.queue.clear();
+            link.in_service = None;
+            link.depth = 0;
+            link.used = false;
+        }
+        true
+    }
 }
 
 /// WAN topology: constant per-pair latency, unlimited capacity.
@@ -496,8 +593,18 @@ struct Wan<M> {
 
 impl<M> Wan<M> {
     fn new(n: usize, params: WanParams, seed: u64) -> Self {
-        let span = params.max.as_micros() - params.min.as_micros();
         let mut latency = vec![Dur::ZERO; n * n];
+        Self::fill_latencies(&mut latency, n, params, seed);
+        Wan {
+            n: n as u32,
+            latency,
+            in_flight: (0..n * n).map(|_| VecDeque::new()).collect(),
+            used: vec![false; n * n],
+        }
+    }
+
+    fn fill_latencies(latency: &mut [Dur], n: usize, params: WanParams, seed: u64) {
+        let span = params.max.as_micros() - params.min.as_micros();
         for i in 0..n {
             for j in (i + 1)..n {
                 // Symmetric one-way latency, deterministic in the seed.
@@ -512,31 +619,18 @@ impl<M> Wan<M> {
                 latency[j * n + i] = lat;
             }
         }
-        Wan {
-            n: n as u32,
-            latency,
-            in_flight: (0..n * n).map(|_| VecDeque::new()).collect(),
-            used: vec![false; n * n],
-        }
-    }
-
-    fn pair_index(&self, from: Pid, dest: Pid) -> u32 {
-        from.index() as u32 * self.n + dest.index() as u32
     }
 }
 
 impl<M: Message> Topology<M> for Wan<M> {
     fn submit(&mut self, now: Time, job: SendJob<M>, fx: &mut NetFx<M>, _stats: &mut NetStats) {
-        for dest in job.dests.iter() {
-            let id = self.pair_index(job.from, dest);
+        let n = self.n;
+        job.fan_out(|from, dest, msg| {
+            let id = from.index() as u32 * n + dest.index() as u32;
             let lat = self.latency[id as usize];
-            self.in_flight[id as usize].push_back(Unicast {
-                from: job.from,
-                dest,
-                msg: Arc::clone(&job.msg),
-            });
+            self.in_flight[id as usize].push_back(Unicast { from, dest, msg });
             fx.schedule.push((now + lat, LinkId(id)));
-        }
+        });
     }
 
     fn complete(&mut self, _now: Time, link: LinkId, fx: &mut NetFx<M>, stats: &mut NetStats) {
@@ -551,6 +645,23 @@ impl<M: Message> Topology<M> for Wan<M> {
             .pop_front()
             .expect("NetDone for an empty WAN pair");
         fx.deliver.push((unicast.dest, unicast.from, unicast.msg));
+    }
+
+    fn recycle(&mut self, params: &NetParams, n: usize, seed: u64) -> bool {
+        let NetworkModel::Wan(wan) = params.model() else {
+            return false;
+        };
+        self.n = n as u32;
+        self.latency.clear();
+        self.latency.resize(n * n, Dur::ZERO);
+        Self::fill_latencies(&mut self.latency, n, wan, seed);
+        self.in_flight.resize_with(n * n, VecDeque::new);
+        for q in &mut self.in_flight {
+            q.clear();
+        }
+        self.used.clear();
+        self.used.resize(n * n, false);
+        true
     }
 }
 
@@ -649,10 +760,16 @@ mod tests {
         for &d in dests {
             set.insert(Pid::new(d));
         }
+        // Mirror the kernel: unicasts ride owned, multicasts interned.
+        let msg = if dests.len() == 1 {
+            Payload::Own(msg)
+        } else {
+            Payload::Shared(Arc::new(msg))
+        };
         SendJob {
             from: Pid::new(from),
             dests: set,
-            msg: Arc::new(msg),
+            msg,
         }
     }
 
@@ -750,7 +867,7 @@ mod tests {
             m.complete(Time::from_millis(20), link, &mut fx, &mut stats);
         }
         // FIFO per pair: values arrive in send order.
-        let values: Vec<u64> = fx.deliver.iter().map(|(_, _, v)| **v).collect();
+        let values: Vec<u64> = fx.deliver.iter().map(|(_, _, v)| *v.get()).collect();
         assert_eq!(values, vec![0, 1, 2]);
         assert_eq!(stats.net_busy, Dur::ZERO);
         assert_eq!(stats.queue_highwater, 0);

@@ -13,6 +13,15 @@ use rand::RngCore;
 
 use crate::time::{Dur, Time};
 
+/// Maximum number of processes the simulation engine supports:
+/// destination sets, suspect masks and partition groups are
+/// [`MASK_WORDS`]-word bit masks of this width. (The thread-per-process
+/// real-time backend, [`crate::RealRuntime`], keeps its own lower cap.)
+pub const MAX_PROCESSES: usize = 256;
+
+/// 64-bit words per pid bit mask.
+pub(crate) const MASK_WORDS: usize = MAX_PROCESSES / 64;
+
 /// Identifier of a process in a system of `n` processes.
 ///
 /// Internally 0-based; displayed 1-based (`p1`, `p2`, …) to match the
@@ -34,10 +43,10 @@ impl Pid {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= 64`; the engine supports at most 64
-    /// processes (destination sets are bit masks).
+    /// Panics if `index >= 256` ([`MAX_PROCESSES`]); destination sets
+    /// and suspect masks are fixed-width bit masks.
     pub fn new(index: usize) -> Self {
-        assert!(index < 64, "at most 64 processes are supported");
+        assert!(index < MAX_PROCESSES, "at most 256 processes are supported");
         Pid(index as u32)
     }
 
@@ -196,33 +205,126 @@ pub trait Process: Sized + 'static {
     }
 }
 
-/// A set of destination processes, stored as a bit mask (hence the
-/// 64-process limit).
-#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub(crate) struct DestSet(pub(crate) u64);
+/// A set of processes, stored as a multi-word bit mask (hence the
+/// [`MAX_PROCESSES`]-process limit). Serves as the engine's multicast
+/// destination set, failure-detector suspect mask and partition group.
+///
+/// Deliberately **not** `Copy`: at four words the set is large enough
+/// that hot loops (fan-out, coalescing) should borrow or move it
+/// rather than duplicate it silently — pass `&DestSet` unless the
+/// callee stores the set.
+///
+/// ```
+/// use neko::{DestSet, Pid};
+///
+/// let s: DestSet = [Pid::new(2), Pid::new(200)].into_iter().collect();
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(Pid::new(200)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![Pid::new(2), Pid::new(200)]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct DestSet {
+    words: [u64; MASK_WORDS],
+}
 
 impl DestSet {
-    pub(crate) fn insert(&mut self, p: Pid) {
-        self.0 |= 1 << p.index();
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    pub(crate) fn is_empty(self) -> bool {
-        self.0 == 0
+    /// The set containing exactly `p`.
+    pub fn single(p: Pid) -> Self {
+        let mut s = Self::default();
+        s.insert(p);
+        s
     }
 
-    pub(crate) fn iter(self) -> impl Iterator<Item = Pid> {
-        // Walk set bits directly (clear-lowest-bit), so iterating a
-        // k-element set costs k steps rather than scanning all 64
-        // candidate positions — fan-out loops run this per message.
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
+    #[inline]
+    fn word_bit(p: Pid) -> (usize, u64) {
+        (p.index() >> 6, 1u64 << (p.index() & 63))
+    }
+
+    /// Adds `p` to the set.
+    #[inline]
+    pub fn insert(&mut self, p: Pid) {
+        let (w, bit) = Self::word_bit(p);
+        self.words[w] |= bit;
+    }
+
+    /// Removes `p` from the set.
+    #[inline]
+    pub fn remove(&mut self, p: Pid) {
+        let (w, bit) = Self::word_bit(p);
+        self.words[w] &= !bit;
+    }
+
+    /// Whether `p` is a member.
+    #[inline]
+    pub fn contains(&self, p: Pid) -> bool {
+        let (w, bit) = Self::word_bit(p);
+        self.words[w] & bit != 0
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The number of members (a popcount per word).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The sole member, if the set has exactly one — the engine's
+    /// single-destination fast path keys off this.
+    pub fn as_single(&self) -> Option<Pid> {
+        let mut found: Option<Pid> = None;
+        for (w, &bits) in self.words.iter().enumerate() {
             if bits == 0 {
+                continue;
+            }
+            if found.is_some() || !bits.is_power_of_two() {
                 return None;
+            }
+            found = Some(Pid::new((w << 6) | bits.trailing_zeros() as usize));
+        }
+        found
+    }
+
+    /// Iterates members in ascending pid order. Walks set bits
+    /// directly (clear-lowest-bit per word), so iterating a k-element
+    /// set costs k steps plus one skip per empty word — fan-out loops
+    /// run this per message. The iterator snapshots the words, so the
+    /// set may be mutated while an iterator is live.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + Clone {
+        let words = self.words;
+        let mut w = 0usize;
+        let mut bits = words[0];
+        std::iter::from_fn(move || loop {
+            if bits == 0 {
+                w += 1;
+                if w >= MASK_WORDS {
+                    return None;
+                }
+                bits = words[w];
+                continue;
             }
             let i = bits.trailing_zeros() as usize;
             bits &= bits - 1;
-            Some(Pid::new(i))
+            return Some(Pid::new((w << 6) | i));
         })
+    }
+}
+
+impl FromIterator<Pid> for DestSet {
+    fn from_iter<I: IntoIterator<Item = Pid>>(iter: I) -> Self {
+        let mut s = Self::default();
+        for p in iter {
+            s.insert(p);
+        }
+        s
     }
 }
 
@@ -250,9 +352,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
+    #[should_panic(expected = "at most 256")]
     fn pid_out_of_range_panics() {
-        let _ = Pid::new(64);
+        let _ = Pid::new(MAX_PROCESSES);
     }
 
     #[test]
@@ -270,6 +372,28 @@ mod tests {
         let v: Vec<_> = s.iter().collect();
         assert_eq!(v, vec![Pid::new(0), Pid::new(5)]);
         assert!(!s.is_empty());
+        assert_eq!(s.len(), 2);
+        s.remove(Pid::new(0));
+        assert_eq!(s.as_single(), Some(Pid::new(5)));
+    }
+
+    #[test]
+    fn dest_set_crosses_word_boundaries() {
+        let mut s = DestSet::new();
+        for i in [63, 64, 127, 128, 255] {
+            s.insert(Pid::new(i));
+        }
+        assert_eq!(s.len(), 5);
+        let v: Vec<usize> = s.iter().map(Pid::index).collect();
+        assert_eq!(v, vec![63, 64, 127, 128, 255]);
+        assert!(s.contains(Pid::new(128)));
+        assert!(!s.contains(Pid::new(129)));
+        assert_eq!(s.as_single(), None);
+        s.remove(Pid::new(63));
+        s.remove(Pid::new(64));
+        s.remove(Pid::new(127));
+        s.remove(Pid::new(128));
+        assert_eq!(s.as_single(), Some(Pid::new(255)));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Differential property tests for the multi-word [`neko::DestSet`]:
+//! random insert/remove sequences must agree with a `BTreeSet<Pid>`
+//! reference model on membership, count, emptiness, the
+//! single-member fast path and iteration order — with the pid
+//! distribution biased hard onto the word boundaries (63, 64, 127,
+//! 128, 255) where a multi-word mask can get its indexing wrong.
+//!
+//! A second property round-trips [`neko::Partition`] groups built
+//! over 200 processes: reachability under the partition must match
+//! the group structure it was built from, and the stored group masks
+//! must recover the input groups exactly.
+
+use std::collections::BTreeSet;
+
+use neko::{DestSet, Partition, Pid, MAX_PROCESSES};
+use proptest::prelude::*;
+
+/// A deterministic splitmix64 stream — the vendored proptest has no
+/// recursive strategies, so op sequences derive from one drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Word-boundary pids, where `index >> 6` / `index & 63` bugs live.
+const EDGES: [usize; 8] = [0, 62, 63, 64, 127, 128, 254, 255];
+
+/// Draws one pid, half the time from the boundary set and half
+/// uniformly over the full 256-process range.
+fn draw_pid(state: &mut u64) -> Pid {
+    if mix(state) & 1 == 0 {
+        Pid::new(EDGES[(mix(state) % EDGES.len() as u64) as usize])
+    } else {
+        Pid::new((mix(state) % MAX_PROCESSES as u64) as usize)
+    }
+}
+
+/// Checks every observable of `set` against the reference model.
+fn assert_agrees(set: &DestSet, model: &BTreeSet<Pid>) {
+    assert_eq!(set.len(), model.len(), "len diverged");
+    assert_eq!(set.is_empty(), model.is_empty(), "is_empty diverged");
+    assert_eq!(
+        set.iter().collect::<Vec<_>>(),
+        model.iter().copied().collect::<Vec<_>>(),
+        "iter order or content diverged"
+    );
+    let single = if model.len() == 1 {
+        model.iter().next().copied()
+    } else {
+        None
+    };
+    assert_eq!(set.as_single(), single, "as_single diverged");
+    for &e in &EDGES {
+        let p = Pid::new(e);
+        assert_eq!(
+            set.contains(p),
+            model.contains(&p),
+            "contains({p}) diverged"
+        );
+    }
+}
+
+proptest! {
+    /// Random insert/remove interleavings agree with the reference
+    /// set at every step.
+    #[test]
+    fn destset_matches_reference_model(seed in any::<u64>(), ops in 1usize..400) {
+        let mut state = seed;
+        let mut set = DestSet::new();
+        let mut model = BTreeSet::new();
+        for _ in 0..ops {
+            let p = draw_pid(&mut state);
+            // Removes a third of the time, so sets both grow and
+            // shrink across word boundaries.
+            if mix(&mut state).is_multiple_of(3) {
+                set.remove(p);
+                model.remove(&p);
+            } else {
+                set.insert(p);
+                model.insert(p);
+            }
+            assert_agrees(&set, &model);
+        }
+        // Rebuilding from the surviving members must reproduce the
+        // set exactly (FromIterator round-trip).
+        let rebuilt: DestSet = set.iter().collect();
+        assert_eq!(rebuilt, set);
+    }
+
+    /// Partition round-trip at n = 200: group masks recover the
+    /// groups, and reachability is exactly "some group holds both".
+    #[test]
+    fn partition_masks_round_trip_at_n_200(seed in any::<u64>(), cuts in 1usize..6) {
+        const N: usize = 200;
+        let mut state = seed;
+        // Deal each pid below N into one of `cuts + 1` disjoint
+        // buckets, or leave it out entirely (isolated).
+        let groups = cuts + 1;
+        let mut members: Vec<Vec<Pid>> = vec![Vec::new(); groups];
+        let mut assigned: Vec<Option<usize>> = vec![None; N];
+        for (i, slot) in assigned.iter_mut().enumerate() {
+            let draw = mix(&mut state) % (groups as u64 + 1);
+            if (draw as usize) < groups {
+                members[draw as usize].push(Pid::new(i));
+                *slot = Some(draw as usize);
+            }
+        }
+        let part = Partition::split(&members);
+
+        // The stored masks are the input groups, set for set.
+        let masks = part.group_masks();
+        assert_eq!(masks.len(), groups);
+        for (g, mask) in members.iter().zip(masks) {
+            let expect: DestSet = g.iter().copied().collect();
+            assert_eq!(mask, &expect);
+        }
+
+        // Reachability: self-loops always work; otherwise only
+        // within a shared group. Sampled pairs plus every edge pid.
+        for _ in 0..300 {
+            let a = (mix(&mut state) % N as u64) as usize;
+            let b = (mix(&mut state) % N as u64) as usize;
+            let expect =
+                a == b || (assigned[a].is_some() && assigned[a] == assigned[b]);
+            assert_eq!(
+                part.allows(Pid::new(a), Pid::new(b)),
+                expect,
+                "p{}->p{} reachability diverged", a + 1, b + 1
+            );
+        }
+        for &e in EDGES.iter().filter(|&&e| e < N) {
+            assert!(part.allows(Pid::new(e), Pid::new(e)));
+        }
+    }
+}

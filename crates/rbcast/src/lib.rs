@@ -156,8 +156,27 @@ impl<M: Clone + fmt::Debug> ReliableBcast<M> {
         suspects: &SuspectSet,
         out: &mut Vec<RbAction<M>>,
     ) {
+        // Single-payload fast path: the common-case `Data` message
+        // costs one retained clone and no intermediate vector.
         let msgs = match msg {
-            RbMsg::Data { id, payload } => vec![(id, payload)],
+            RbMsg::Data { id, payload } => {
+                if self.delivered.insert(id) {
+                    self.store.insert(id, payload.clone());
+                    let relay = id.origin != self.me
+                        && suspects.is_suspected(id.origin)
+                        && self.relayed.insert(id);
+                    if relay {
+                        out.push(RbAction::Deliver {
+                            id,
+                            payload: payload.clone(),
+                        });
+                        out.push(RbAction::Multicast(RbMsg::Data { id, payload }));
+                    } else {
+                        out.push(RbAction::Deliver { id, payload });
+                    }
+                }
+                return;
+            }
             RbMsg::Batch { msgs } => msgs,
         };
         let mut to_relay = Vec::new();

@@ -7,11 +7,17 @@
 //! "Exploring schedules and shrinking failures"):
 //!
 //! ```sh
-//! cargo run --release --example explore            # 500 tuples/algorithm
-//! ATOMBENCH_EXPLORE_BUDGET=2000 \
+//! cargo run --release --example explore            # 1000 tuples/algorithm
+//! ATOMBENCH_EXPLORE_BUDGET=10000 \
 //! ATOMBENCH_EXPLORE_SEED=7 \
 //!     cargo run --release --example explore        # deeper hunt
+//! ATOMBENCH_EXPLORE_BUDGET=500000 \
+//!     cargo run --release --example explore        # ~million-tuple soak
 //! ```
+//!
+//! The soak budget (500 000 per algorithm, two paper algorithms —
+//! a million tuples) runs in well under an hour at the measured
+//! explorer throughput (see `explore_throughput`).
 
 use study::explore::Explorer;
 
@@ -24,7 +30,7 @@ fn env_u64(key: &str, default: u64) -> u64 {
 
 fn main() {
     let seed = env_u64("ATOMBENCH_EXPLORE_SEED", 0x5EED);
-    let budget = env_u64("ATOMBENCH_EXPLORE_BUDGET", 500) as usize;
+    let budget = env_u64("ATOMBENCH_EXPLORE_BUDGET", 1000) as usize;
     let explorer = Explorer::new(seed).with_budget(budget);
     println!("exploring {budget} tuples per algorithm (seed {seed:#x}) …");
     let start = std::time::Instant::now();
