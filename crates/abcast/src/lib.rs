@@ -27,6 +27,11 @@
 //! assert_eq!(delivered.len(), 3); // every process A-delivered it
 //! ```
 
+// Protocol state machines must be bit-deterministic and free of
+// ambient effects; atomlint rule D5 denies `unsafe` here, and this
+// attribute makes the same invariant compiler-enforced.
+#![forbid(unsafe_code)]
+
 mod batch;
 mod common;
 mod fd;

@@ -457,9 +457,7 @@ impl Report {
             },
             Err(_) => empty_doc(),
         };
-        let generated = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.as_secs());
+        let generated = generated_epoch(std::env::var("SOURCE_DATE_EPOCH").ok().as_deref());
         let entry = Json::Obj(vec![
             ("x_name".into(), Json::Str(self.x_name)),
             ("generated_unix".into(), Json::Num(generated as f64)),
@@ -492,6 +490,20 @@ impl Report {
             eprintln!("# results merged into {}", path.display());
         }
     }
+}
+
+/// The `generated_unix` stamp for a merge. `SOURCE_DATE_EPOCH` (the
+/// reproducible-builds convention: seconds since the Unix epoch) wins
+/// when set and parseable, so CI can diff two freshly regenerated
+/// results files byte for byte; otherwise the wall clock.
+fn generated_epoch(source_date_epoch: Option<&str>) -> u64 {
+    source_date_epoch
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs())
+        })
 }
 
 /// A fresh results document.
@@ -609,6 +621,16 @@ mod tests {
             };
             assert_eq!(back.to_bits(), x.to_bits(), "round-trip of {x}");
         }
+    }
+
+    #[test]
+    fn source_date_epoch_pins_the_generated_stamp() {
+        assert_eq!(generated_epoch(Some("1700000000")), 1_700_000_000);
+        assert_eq!(generated_epoch(Some(" 1700000000\n")), 1_700_000_000);
+        // Unparseable or absent values fall back to the wall clock —
+        // which is certainly later than the commit adding this test.
+        assert!(generated_epoch(Some("not-an-epoch")) > 1_700_000_000);
+        assert!(generated_epoch(None) > 1_700_000_000);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! assert!(out.iter().any(|a| matches!(a, ConsensusAction::Decided(7))));
 //! ```
 
+// Protocol state machines must be bit-deterministic and free of
+// ambient effects; atomlint rule D5 denies `unsafe` here, and this
+// attribute makes the same invariant compiler-enforced.
+#![forbid(unsafe_code)]
+
 mod machine;
 mod msg;
 

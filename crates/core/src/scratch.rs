@@ -19,6 +19,7 @@
 
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
+// atomlint::allow(D1): the pool is probed by TypeId key only (take/put); its iteration order is never observed, so hash-seed nondeterminism cannot reach any run output
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -47,6 +48,7 @@ fn enabled() -> bool {
 
 thread_local! {
     /// One parked scratch per concrete `SimScratch<M, C, O>` type.
+    // atomlint::allow(D1): keyed insert/remove only — a contains-style cache whose order is unobservable; TypeId is not Ord-stable across compilers, so BTreeMap would buy nothing
     static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
 }
 

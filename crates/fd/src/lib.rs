@@ -39,6 +39,11 @@
 //! assert!(!plan.is_empty()); // ready for Sim::schedule_plan
 //! ```
 
+// Protocol state machines must be bit-deterministic and free of
+// ambient effects; atomlint rule D5 denies `unsafe` here, and this
+// attribute makes the same invariant compiler-enforced.
+#![forbid(unsafe_code)]
+
 mod estimate;
 mod qos;
 mod suspect;

@@ -1,0 +1,9 @@
+//! Malformed directives: a missing justification, an unknown rule
+//! id, and a typo'd verb. All three must be flagged — and none of
+//! them suppresses the HashMap below.
+// atomlint::allow(D1)
+// atomlint::allow(D9): no such rule
+// atomlint::alow(D1): typo'd verb
+use std::collections::HashMap;
+
+pub type Pool = HashMap<u64, Vec<u8>>;

@@ -1,0 +1,8 @@
+//! An allow that suppresses nothing — the hazard it cites was
+//! removed but the directive stayed behind. Must be flagged.
+// atomlint::allow(D1): this map was removed in a refactor
+use std::collections::BTreeMap;
+
+pub struct Pool {
+    slots: BTreeMap<u64, Vec<u8>>,
+}

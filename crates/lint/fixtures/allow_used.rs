@@ -1,0 +1,9 @@
+//! A justified, consumed allow: the directive suppresses the D1
+//! match on the line below it, and a trailing directive suppresses
+//! its own line. A clean run: zero findings.
+// atomlint::allow(D1): keyed insert/remove only; iteration order is never observed
+use std::collections::HashMap;
+
+pub struct Pool {
+    slots: HashMap<u64, Vec<u8>>, // atomlint::allow(D1): same pool, same contract
+}

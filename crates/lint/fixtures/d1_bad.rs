@@ -1,0 +1,12 @@
+//! D1 bad twin: hash-order state in sim-reachable code.
+use std::collections::{HashMap, HashSet};
+use std::hash::RandomState;
+
+pub struct Tracker {
+    pending: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+pub fn fresh() -> HashMap<u64, u32, RandomState> {
+    HashMap::new()
+}

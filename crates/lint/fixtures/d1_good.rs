@@ -1,0 +1,11 @@
+//! D1 good twin: ordered collections, same shape, deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Tracker {
+    pending: BTreeMap<u64, u32>,
+    seen: BTreeSet<u64>,
+}
+
+pub fn fresh() -> BTreeMap<u64, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,9 @@
+//! D2 bad twin: wall-clock reads in simulated code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

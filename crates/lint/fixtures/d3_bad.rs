@@ -1,0 +1,12 @@
+//! D3 bad twin: ambient randomness — four distinct entry points.
+use rand::rngs::{OsRng, SmallRng};
+use rand::{thread_rng, Rng, SeedableRng};
+
+pub fn roll() -> u64 {
+    let a: u64 = thread_rng().gen();
+    let b: u64 = rand::random();
+    let mut c = SmallRng::from_entropy();
+    let mut buf = [0u8; 8];
+    getrandom(&mut buf);
+    a ^ b ^ c.gen::<u64>()
+}

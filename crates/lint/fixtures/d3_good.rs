@@ -1,0 +1,8 @@
+//! D3 good twin: every stream descends from an explicit seed.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(master_seed: u64, stream: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(master_seed ^ stream);
+    rng.gen()
+}

@@ -1,0 +1,18 @@
+//! D4 bad twin: threading and interior mutability in a protocol
+//! state machine — six distinct hazards.
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, RwLock};
+use std::thread;
+
+pub struct Machine {
+    acks: Mutex<Vec<u64>>,
+    views: RwLock<Vec<u32>>,
+    round: AtomicU64,
+    cache: RefCell<Vec<u8>>,
+    hint: Cell<u32>,
+}
+
+pub fn kick() {
+    thread::spawn(|| {});
+}

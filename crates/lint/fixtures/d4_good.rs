@@ -1,0 +1,14 @@
+//! D4 good twin: a pure state machine — plain owned state, mutation
+//! only through `&mut self`, outputs as returned actions.
+pub struct Machine {
+    acks: Vec<u64>,
+    views: Vec<u32>,
+    round: u64,
+}
+
+impl Machine {
+    pub fn on_ack(&mut self, from: u64) -> Option<u64> {
+        self.acks.push(from);
+        (self.acks.len() as u64 > self.round).then_some(self.round)
+    }
+}

@@ -1,0 +1,8 @@
+//! D5 bad twin: `unsafe` in a protocol crate.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub unsafe fn transmute_id(x: u64) -> i64 {
+    x as i64
+}

@@ -1,0 +1,8 @@
+//! D5 good twin: safe equivalents.
+pub fn peek(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn convert_id(x: u64) -> i64 {
+    i64::from_ne_bytes(x.to_ne_bytes())
+}

@@ -1,0 +1,8 @@
+//! D6 bad twin: panic surface on a handler path — `unwrap`,
+//! `expect`, and expression indexing.
+pub fn deliver(queue: &mut Vec<u64>, slots: &[u64], i: usize) -> u64 {
+    let head = queue.pop().unwrap();
+    let slot = slots[i];
+    let next = queue.first().expect("queue refilled above");
+    head + slot + next
+}

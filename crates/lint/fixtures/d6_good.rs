@@ -1,0 +1,8 @@
+//! D6 good twin: the same flow with total operations — pattern
+//! matches and checked access, no panic surface.
+pub fn deliver(queue: &mut Vec<u64>, slots: &[u64], i: usize) -> Option<u64> {
+    let head = queue.pop()?;
+    let slot = slots.get(i)?;
+    let next = queue.first()?;
+    Some(head + slot + next)
+}

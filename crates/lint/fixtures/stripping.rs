@@ -1,0 +1,18 @@
+//! The lexer's negative space: every hazard name below appears only
+//! in comments or string literals and must never fire.
+//!
+//! HashMap HashSet Instant::now SystemTime::now thread_rng unsafe
+/* Mutex RwLock /* nested: RefCell AtomicU64 */ thread::spawn */
+
+pub fn messages() -> Vec<&'static str> {
+    vec![
+        "HashMap iteration order fed the bug",
+        r#"raw: Instant::now() and "rand::random()""#,
+        r##"rawer: from_entropy in a #" string"##,
+        "escaped \" then unsafe { } inside a string",
+    ]
+}
+
+pub fn chars_and_lifetimes<'a>(x: &'a str) -> (&'a str, char, u8) {
+    (x, '"', b'\'')
+}

@@ -1,0 +1,161 @@
+//! `atomlint` — the workspace determinism & purity gate.
+//!
+//! ```text
+//! atomlint --workspace              # scan the whole tree from cwd
+//! atomlint --root DIR --workspace   # …from DIR
+//! atomlint crates/abcast/src/gm.rs  # scan specific files
+//! atomlint --workspace --format json
+//! atomlint --rules                  # print the rule catalog
+//! ```
+//!
+//! Exit code 0 when clean, 1 when any deny finding (including unused
+//! or malformed `atomlint::allow` directives) survives, 2 on usage or
+//! I/O errors. Notes (the D5 inventory outside protocol crates, the
+//! D6 panic-surface report) are summarized but never fail the run;
+//! pass `--notes` to list every note site.
+
+use lint::rules::{RuleId, Severity};
+use lint::{analyze_source, analyze_workspace, render_json, Finding, Report};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut workspace = false;
+    let mut json = false;
+    let mut list_notes = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage("--format takes `text` or `json`"),
+            },
+            "--notes" => list_notes = true,
+            "--rules" => {
+                print_catalog();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+
+    let report = if workspace {
+        match analyze_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("atomlint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut r = Report::default();
+        for f in &files {
+            let src = match std::fs::read_to_string(root.join(f)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("atomlint: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            r.findings.extend(analyze_source(f, &src));
+            r.files_scanned += 1;
+        }
+        r
+    };
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print_text(&report, list_notes);
+    }
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_text(report: &Report, list_notes: bool) {
+    for f in report.deny() {
+        println!(
+            "{}:{}: deny[{}] {} (zone: {})",
+            f.path, f.line, f.rule, f.message, f.zone
+        );
+    }
+    // Notes aggregate per (rule, file): the D6 panic-surface report
+    // over the kernel would otherwise drown the findings that gate.
+    let notes: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Note)
+        .collect();
+    if list_notes {
+        for f in &notes {
+            println!(
+                "{}:{}: note[{}] {} (zone: {})",
+                f.path, f.line, f.rule, f.message, f.zone
+            );
+        }
+    } else if !notes.is_empty() {
+        let mut per: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
+        for f in &notes {
+            *per.entry((f.rule, f.path.as_str())).or_default() += 1;
+        }
+        println!("# notes (advisory; `--notes` lists each site):");
+        for ((rule, path), count) in per {
+            println!("#   {rule} ×{count:<4} {path}");
+        }
+    }
+    println!(
+        "# atomlint: {} files, {} deny, {} notes",
+        report.files_scanned,
+        report.deny_count(),
+        report.note_count()
+    );
+}
+
+fn print_catalog() {
+    println!("atomlint rules (severity depends on zone — see crates/lint/src/rules.rs):");
+    for rule in [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+        RuleId::UnusedAllow,
+        RuleId::BadDirective,
+    ] {
+        println!("  {:<14} {}", rule.as_str(), rule.title());
+    }
+    println!("suppress per site: // atomlint::allow(<rule-id>): <reason>");
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("atomlint: {err}");
+    }
+    eprintln!(
+        "usage: atomlint [--root DIR] [--format text|json] [--notes] (--workspace | FILES…)\n       atomlint --rules"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,462 @@
+//! A minimal Rust lexer: just enough to token-match determinism
+//! hazards without false positives from prose.
+//!
+//! The analyzer's matching rules operate on identifiers and
+//! punctuation, so the lexer's real job is *stripping*: line and
+//! (nested) block comments, string literals in every flavor
+//! (`"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`), character
+//! literals versus lifetimes, and raw identifiers (`r#type`). A
+//! mention of `HashMap` in a doc comment or an error-message string
+//! must never fire a rule.
+//!
+//! Line comments are not discarded entirely: the lexer collects
+//! [`Directive`]s — `// atomlint::allow(<rule-id>): <reason>` — which
+//! the rule engine uses for per-site suppression, and reports
+//! malformed ones so a typo'd directive fails loudly instead of
+//! silently not suppressing.
+
+/// What a token is; rule patterns match on kind + text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `thread`).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `[`, …).
+    Punct,
+    /// A lifetime (`'a`) — kept so `'a` is never half a char literal.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// Source text for `Ident`; the single character for `Punct`;
+    /// empty for literals and lifetimes (their content is never
+    /// matched against).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A parsed `atomlint::allow` directive (or a malformed attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+    /// The rule id inside the parentheses, e.g. `D1`.
+    pub rule: String,
+    /// The justification after `): ` (always non-empty when well
+    /// formed).
+    pub reason: String,
+    /// `Some(why)` when the directive failed to parse; such a
+    /// directive suppresses nothing and is itself reported.
+    pub malformed: Option<String>,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, comments and literal contents stripped.
+    pub tokens: Vec<Tok>,
+    /// Every `atomlint::allow` directive found in line comments.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `src`, which is assumed to be (possibly invalid) Rust. The
+/// lexer never fails: unterminated constructs simply consume the rest
+/// of the file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Lexed {
+    Scanner {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().expect("peeked char vanished");
+                    if !c.is_whitespace() {
+                        self.push(TokKind::Punct, c.to_string(), line);
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// …` to end of line; parses an `atomlint::allow` directive if
+    /// one is present (doc comments `///` and `//!` included).
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+        if let Some(rest) = body.strip_prefix("atomlint::allow") {
+            self.out.directives.push(parse_directive(line, rest));
+        } else if body.starts_with("atomlint::") {
+            // A typo'd directive (`atomlint::alow`, …) would silently
+            // not apply — flag it. Prose merely *mentioning* the
+            // grammar mid-comment is fine: only a comment that starts
+            // with `atomlint::` is treated as a directive attempt.
+            self.out.directives.push(Directive {
+                line,
+                rule: String::new(),
+                reason: String::new(),
+                malformed: Some(
+                    "directive must be spelled `atomlint::allow(<rule>): <reason>`".into(),
+                ),
+            });
+        }
+    }
+
+    /// `/* … */`, nested per Rust's grammar.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+    }
+
+    /// `"…"` with escapes; emits one `Literal` token.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// `r"…"` / `r#"…"#` / `br##"…"##`, already past the prefix;
+    /// `hashes` is the number of `#` before the opening quote.
+    fn raw_string_body(&mut self, hashes: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// A `'` is a char literal or a lifetime; disambiguate the way
+    /// rustc does — `'x'` and `'\…'` are chars, `'ident` (no closing
+    /// quote right after one ident char) is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        if self.peek(1) == Some('\\') || (self.peek(1).is_some() && self.peek(2) == Some('\'')) {
+            self.bump(); // opening quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Literal, String::new(), line);
+        } else {
+            self.bump(); // the `'`
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, String::new(), line);
+        }
+    }
+
+    /// Digits plus alphanumeric suffix chars (`0xFF`, `1_000u64`).
+    /// `.` is left as punctuation, so `1.5` lexes as three tokens —
+    /// irrelevant to rule matching and safe for ranges (`0..n`).
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// An identifier — unless it is the prefix of a raw/byte string
+    /// (`r"`, `r#"`, `b"`, `br#"`), a byte char (`b'a'`), or a raw
+    /// identifier (`r#type`).
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let c = self.peek(0).expect("caller peeked an ident start");
+        if c == 'r' {
+            // `r"…"` / `r##"…"##` raw strings, or `r#ident`.
+            let mut hashes = 0;
+            while self.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(1 + hashes) == Some('"') {
+                for _ in 0..1 + hashes {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                return;
+            }
+            if hashes == 1 {
+                // `r#ident`: consume the prefix, lex the raw ident.
+                self.bump();
+                self.bump();
+            }
+        } else if c == 'b' {
+            match self.peek(1) {
+                // `b"…"` is escape-aware, not raw.
+                Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                    return;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime();
+                    return;
+                }
+                Some('r') => {
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some('"') {
+                        for _ in 0..2 + hashes {
+                            self.bump();
+                        }
+                        self.raw_string_body(hashes);
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Parses the tail of a directive comment, starting right after the
+/// literal `atomlint::allow`. Expected: `(<rule-id>): <reason>`.
+fn parse_directive(line: u32, rest: &str) -> Directive {
+    let bad = |why: &str| Directive {
+        line,
+        rule: String::new(),
+        reason: String::new(),
+        malformed: Some(why.to_string()),
+    };
+    let Some(rest) = rest.trim_start().strip_prefix('(') else {
+        return bad("expected `(` after `atomlint::allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return bad("unclosed `(` in directive");
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() || rule.contains(',') {
+        return bad("exactly one rule id per directive, e.g. `atomlint::allow(D1): …`");
+    }
+    let tail = &rest[close + 1..];
+    let Some(reason) = tail.trim_start().strip_prefix(':') else {
+        return bad("expected `: <reason>` after the rule id");
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return bad("a directive must carry a written justification");
+    }
+    Directive {
+        line,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        malformed: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r###"
+            // HashMap in a line comment
+            /* HashMap /* nested HashMap */ still comment */
+            let s = "HashMap in a string \" with escape";
+            let r = r#"HashMap in a raw "string""#;
+            let b = br##"HashMap in a raw byte string"##;
+            let real = 1;
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a HashMap) -> &'a str { x }");
+        assert!(ids.iter().any(|i| i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "str"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let ids = idents(r"let c = 'x'; let q = '\''; let n = '\n'; HashMap");
+        assert!(ids.iter().any(|i| i == "HashMap"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; r#match");
+        assert_eq!(ids, vec!["let", "type", "match"]);
+    }
+
+    #[test]
+    fn byte_chars_and_numbers() {
+        let ids = idents("let x = b'a'; let y = 0xFFu64; let z = 1_000; Instant");
+        assert!(ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "a" || i == "FFu64"));
+    }
+
+    #[test]
+    fn directive_parses_with_reason() {
+        let l = lex("// atomlint::allow(D1): keyed probes only\nuse x;\n");
+        assert_eq!(l.directives.len(), 1);
+        let d = &l.directives[0];
+        assert_eq!((d.line, d.rule.as_str()), (1, "D1"));
+        assert_eq!(d.reason, "keyed probes only");
+        assert!(d.malformed.is_none());
+    }
+
+    #[test]
+    fn directive_without_reason_is_malformed() {
+        for bad in [
+            "// atomlint::allow(D1)",
+            "// atomlint::allow(D1):",
+            "// atomlint::allow(D1):   ",
+            "// atomlint::allow D1: x",
+            "// atomlint::allow(D1, D2): two at once",
+            "// atomlint::alow(D1): typo'd verb",
+        ] {
+            let l = lex(bad);
+            assert_eq!(l.directives.len(), 1, "{bad}");
+            assert!(l.directives[0].malformed.is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn doc_comment_directives_count() {
+        let l = lex("/// atomlint::allow(D5): ffi shim audited in PR 9\n");
+        assert_eq!(l.directives.len(), 1);
+        assert!(l.directives[0].malformed.is_none());
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nInstant";
+        let toks = lex(src).tokens;
+        let inst = toks.iter().find(|t| t.text == "Instant").unwrap();
+        assert_eq!(inst.line, 4);
+    }
+}

@@ -1,0 +1,306 @@
+//! # lint — `atomlint`, the workspace determinism & purity analyzer
+//!
+//! Every result this workspace produces — golden scenarios, explorer
+//! `Repro::replay()`, byte-identical sweeps at 1/2/8 workers — rests
+//! on sim-reachable code being bit-deterministic. `atomlint` turns
+//! that proof obligation into a machine-checked invariant: a
+//! hand-rolled lexer (no `syn`; the repo's offline-vendoring rule
+//! applies to its tools too) strips comments and strings, a zone map
+//! assigns each file its determinism contract, and a token-level rule
+//! engine reports violations.
+//!
+//! * [`lexer`] — the stripping lexer and `atomlint::allow` directive
+//!   parser.
+//! * [`zones`] — the path → [`zones::Zone`] contract map.
+//! * [`rules`] — rules D1–D6, the severity matrix, the matchers.
+//! * [`analyze_source`] / [`analyze_workspace`] — the passes.
+//!
+//! Suppression is per site and must be justified:
+//!
+//! ```text
+//! // atomlint::allow(D1): keyed probes only; iteration order is never observed
+//! use std::collections::HashMap;
+//! ```
+//!
+//! A directive covers matches of its rule on its own line and the
+//! line below. Directives that suppress nothing, or fail to parse,
+//! are themselves deny findings — an allow can never rot silently.
+
+pub mod lexer;
+pub mod rules;
+pub mod zones;
+
+use rules::{severity_for, RuleId, Severity};
+use std::path::{Path, PathBuf};
+use zones::Zone;
+
+/// One reported finding, ready for text or JSON output.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Deny (fails the run) or note (report only).
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The zone the file was judged under.
+    pub zone: Zone,
+    /// Human-readable description of what was seen.
+    pub message: String,
+}
+
+/// The outcome of analyzing a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in file order then line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run.
+    pub fn deny(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+    }
+
+    /// Count of deny findings — the exit-code driver.
+    pub fn deny_count(&self) -> usize {
+        self.deny().count()
+    }
+
+    /// Count of advisory findings.
+    pub fn note_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Note)
+            .count()
+    }
+}
+
+/// Analyzes one file's source under the zone its workspace-relative
+/// path implies. Pure: same inputs, same findings.
+pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let zone = zones::classify(rel_path);
+    let lexed = lexer::lex(src);
+    let mut findings = Vec::new();
+
+    // Partition directives: malformed ones report immediately; the
+    // rest arm per-(rule, line) suppression.
+    let mut allows: Vec<(RuleId, u32, String, bool)> = Vec::new(); // (rule, line, reason, used)
+    for d in &lexed.directives {
+        if let Some(why) = &d.malformed {
+            findings.push(Finding {
+                rule: RuleId::BadDirective,
+                severity: Severity::Deny,
+                path: rel_path.to_string(),
+                line: d.line,
+                zone,
+                message: why.clone(),
+            });
+        } else if let Some(rule) = RuleId::parse(&d.rule) {
+            allows.push((rule, d.line, d.reason.clone(), false));
+        } else {
+            findings.push(Finding {
+                rule: RuleId::BadDirective,
+                severity: Severity::Deny,
+                path: rel_path.to_string(),
+                line: d.line,
+                zone,
+                message: format!("unknown rule id `{}` in directive", d.rule),
+            });
+        }
+    }
+
+    for raw in rules::scan(&lexed.tokens) {
+        let Some(severity) = severity_for(raw.rule, zone) else {
+            continue;
+        };
+        // A directive on line L covers matches on L (trailing) and
+        // L+1 (the annotated line below it).
+        let suppressed = allows.iter_mut().find(|(rule, line, _, _)| {
+            *rule == raw.rule && (*line == raw.line || *line + 1 == raw.line)
+        });
+        if let Some(allow) = suppressed {
+            allow.3 = true;
+            continue;
+        }
+        findings.push(Finding {
+            rule: raw.rule,
+            severity,
+            path: rel_path.to_string(),
+            line: raw.line,
+            zone,
+            message: format!("{} ({})", raw.what, raw.rule.title()),
+        });
+    }
+
+    for (rule, line, reason, used) in allows {
+        if !used {
+            findings.push(Finding {
+                rule: RuleId::UnusedAllow,
+                severity: Severity::Deny,
+                path: rel_path.to_string(),
+                line,
+                zone,
+                message: format!("allow({rule}) \"{reason}\" suppresses nothing — remove it"),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Walks the workspace from `root` and analyzes every `.rs` file.
+///
+/// Skipped: hidden directories, `target/`, and the linter's own
+/// fixture corpus (`crates/lint/fixtures/` — those files *must*
+/// violate rules). The walk order is sorted, so output and exit code
+/// are deterministic across filesystems.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        report.findings.extend(analyze_source(&rel_str, &src));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if rel == Path::new("crates/lint/fixtures") {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as a deterministic JSON document (hand-rolled,
+/// like the rest of the workspace's JSON — the build is offline).
+pub fn render_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"zone\": \"{}\", \"message\": \"{}\"}}{}\n",
+            f.rule,
+            f.severity,
+            esc(&f.path),
+            f.line,
+            f.zone,
+            esc(&f.message),
+            if i + 1 < report.findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"files_scanned\": {},\n  \"deny\": {},\n  \"note\": {}\n}}\n",
+        report.files_scanned,
+        report.deny_count(),
+        report.note_count()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_on_the_line_above_suppresses() {
+        let src = "// atomlint::allow(D1): keyed probes only\nuse std::collections::HashMap;\n";
+        let f = analyze_source("crates/neko/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trailing_directive_suppresses_its_own_line() {
+        let src = "use std::collections::HashMap; // atomlint::allow(D1): keyed probes only\n";
+        let f = analyze_source("crates/neko/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn one_directive_covers_all_same_rule_matches_on_its_line() {
+        let src = "// atomlint::allow(D1): scratch pool, order unobservable\nfn f(m: HashMap<u8, HashSet<u8>>) {}\n";
+        let f = analyze_source("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn a_directive_does_not_reach_two_lines_down() {
+        let src =
+            "// atomlint::allow(D1): too far away\nfn gap() {}\nuse std::collections::HashMap;\n";
+        let f = analyze_source("crates/neko/src/x.rs", src);
+        // The HashMap fires AND the allow reports unused.
+        assert!(f.iter().any(|f| f.rule == RuleId::D1));
+        assert!(f.iter().any(|f| f.rule == RuleId::UnusedAllow));
+    }
+
+    #[test]
+    fn a_directive_for_the_wrong_rule_does_not_suppress() {
+        let src = "// atomlint::allow(D2): wrong rule\nuse std::collections::HashMap;\n";
+        let f = analyze_source("crates/neko/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == RuleId::D1));
+        assert!(f.iter().any(|f| f.rule == RuleId::UnusedAllow));
+    }
+
+    #[test]
+    fn zone_gates_severity() {
+        let src = "let t = std::time::Instant::now();\n";
+        // Deny in a protocol crate…
+        let f = analyze_source("crates/abcast/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == RuleId::D2));
+        // …fine in the real-time backend and in benches.
+        assert!(analyze_source("crates/neko/src/real.rs", src).is_empty());
+        assert!(analyze_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_output_is_valid_enough_to_eyeball() {
+        let report = Report {
+            findings: analyze_source("crates/abcast/src/x.rs", "use std::collections::HashMap;"),
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\": \"D1\""));
+        assert!(json.contains("\"deny\": 1"));
+    }
+}

@@ -1,0 +1,338 @@
+//! The rule catalog and the token-stream matchers.
+//!
+//! Six rules, D1–D6, each guarding one way a PR could quietly break
+//! the bit-determinism the goldens, the explorer's `Repro::replay()`
+//! and the byte-identical sweeps all rest on. Severity depends on the
+//! file's [`Zone`]: a construct that is the runtime backend's whole
+//! job (clocks, threads) is a deny finding one layer down in a
+//! protocol state machine.
+//!
+//! Matching is token-sequence based (identifiers and punctuation from
+//! the stripped [`crate::lexer`]), so it is robust to formatting and
+//! blind to comments/strings — and deliberately has no notion of name
+//! resolution. A type alias laundering `HashMap` through another name
+//! would evade it; the rule against that is code review, and the
+//! fixture corpus documents the contract precisely.
+
+use crate::lexer::{Tok, TokKind};
+use crate::zones::Zone;
+use std::fmt;
+
+/// A rule identifier. `D1`–`D6` are the determinism rules; the two
+/// meta rules keep the directive machinery itself honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Nondeterministic hash collections (`HashMap`/`HashSet` with
+    /// the default `RandomState`) in sim-reachable code.
+    D1,
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`) outside
+    /// the runtime/bench zones.
+    D2,
+    /// Ambient randomness (`thread_rng`, `rand::random`,
+    /// `from_entropy`, `OsRng`, `getrandom`) anywhere: every RNG must
+    /// descend from a seed.
+    D3,
+    /// Threading and interior mutability (`thread::spawn`, `Mutex`,
+    /// `RwLock`, `Atomic*`, `RefCell`, `Cell`) in protocol state
+    /// machines.
+    D4,
+    /// `unsafe` — denied in protocol crates, inventoried elsewhere.
+    D5,
+    /// Panic surface (`unwrap`/`expect`/indexing) on kernel-handler
+    /// paths — reported, not denied.
+    D6,
+    /// An `atomlint::allow` directive that suppressed nothing.
+    UnusedAllow,
+    /// An `atomlint::allow` directive that failed to parse or names
+    /// an unknown rule.
+    BadDirective,
+}
+
+impl RuleId {
+    /// The id as written in directives and findings output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
+            RuleId::UnusedAllow => "unused-allow",
+            RuleId::BadDirective => "bad-directive",
+        }
+    }
+
+    /// Parses a directive's rule id (the determinism rules only; the
+    /// meta rules cannot be allowed away).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
+            "D6" => Some(RuleId::D6),
+            _ => None,
+        }
+    }
+
+    /// One-line description for the catalog listing.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::D1 => "nondeterministic hash collection in sim-reachable code",
+            RuleId::D2 => "wall-clock read outside the runtime/bench zones",
+            RuleId::D3 => "ambient (unseeded) randomness",
+            RuleId::D4 => "threading or interior mutability in a protocol state machine",
+            RuleId::D5 => "unsafe code (denied in protocol crates, inventoried elsewhere)",
+            RuleId::D6 => "panic surface (unwrap/expect/indexing) on kernel-handler paths",
+            RuleId::UnusedAllow => "atomlint::allow directive that suppresses nothing",
+            RuleId::BadDirective => "malformed atomlint::allow directive",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a finding fails the build or feeds a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: listed in the machine output and the summary table,
+    /// never affects the exit code.
+    Note,
+    /// Fails the run unless suppressed by a justified directive.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// The zone → severity matrix. `None` means the rule does not apply
+/// in that zone (the construct is that zone's legitimate business).
+pub fn severity_for(rule: RuleId, zone: Zone) -> Option<Severity> {
+    use Severity::{Deny, Note};
+    use Zone::{Bench, Protocol, Runtime, Sim, Tooling, Vendor};
+    match rule {
+        RuleId::D1 | RuleId::D2 => match zone {
+            Protocol | Sim => Some(Deny),
+            Runtime | Bench | Tooling | Vendor => None,
+        },
+        // A seeded repro must replay everywhere — including in tests,
+        // benches and the vendored stand-ins.
+        RuleId::D3 => Some(Deny),
+        RuleId::D4 => match zone {
+            Protocol => Some(Deny),
+            _ => None,
+        },
+        RuleId::D5 => match zone {
+            Protocol => Some(Deny),
+            _ => Some(Note),
+        },
+        RuleId::D6 => match zone {
+            Protocol | Sim => Some(Note),
+            _ => None,
+        },
+        // Directive hygiene is zone-independent.
+        RuleId::UnusedAllow | RuleId::BadDirective => Some(Deny),
+    }
+}
+
+/// Keywords that can legally precede a `[` that is *not* an index
+/// expression (patterns, array literals/types in expression position).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "ref"
+            | "return"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "move"
+            | "break"
+            | "continue"
+            | "yield"
+            | "box"
+            | "static"
+            | "const"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "as"
+    )
+}
+
+/// A matched hazard before directive suppression is applied.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Which rule matched.
+    pub rule: RuleId,
+    /// 1-based line of the first token of the match.
+    pub line: u32,
+    /// What was seen, e.g. `HashMap` or `Instant::now`.
+    pub what: String,
+}
+
+/// Runs every token matcher over one file's token stream. Zone
+/// filtering happens later so the caller can also ask "what would
+/// fire here regardless of zone" (the fixture tests do).
+pub fn scan(tokens: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let ident = |i: usize| -> Option<&str> {
+        tokens
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    let punct = |i: usize, c: char| -> bool {
+        tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text.as_bytes() == [c as u8])
+    };
+    // `a :: b` at position i (the `a`).
+    let path2 = |i: usize, a: &str, b: &str| -> bool {
+        ident(i) == Some(a) && punct(i + 1, ':') && punct(i + 2, ':') && ident(i + 3) == Some(b)
+    };
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        let push = |out: &mut Vec<RawFinding>, rule: RuleId, what: &str| {
+            out.push(RawFinding {
+                rule,
+                line,
+                what: what.to_string(),
+            });
+        };
+        if let Some(name) = ident(i) {
+            match name {
+                "HashMap" | "HashSet" | "RandomState" => push(&mut out, RuleId::D1, name),
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                    push(&mut out, RuleId::D3, name)
+                }
+                "Mutex" | "RwLock" | "RefCell" | "Cell" | "UnsafeCell" => {
+                    push(&mut out, RuleId::D4, name)
+                }
+                "unsafe" => push(&mut out, RuleId::D5, name),
+                _ if name.starts_with("Atomic") => push(&mut out, RuleId::D4, name),
+                _ => {}
+            }
+            if path2(i, "Instant", "now") || path2(i, "SystemTime", "now") {
+                push(&mut out, RuleId::D2, &format!("{name}::now"));
+            }
+            if path2(i, "rand", "random") {
+                push(&mut out, RuleId::D3, "rand::random");
+            }
+            if path2(i, "thread", "spawn") {
+                push(&mut out, RuleId::D4, "thread::spawn");
+            }
+        }
+        // D6a: `.unwrap()` / `.expect(`.
+        if punct(i, '.') {
+            if let Some(m) = ident(i + 1) {
+                if (m == "unwrap" || m == "expect") && punct(i + 2, '(') {
+                    push(&mut out, RuleId::D6, &format!(".{m}()"));
+                }
+            }
+        }
+        // D6b: expression indexing — `[` right after an identifier or
+        // a closing bracket. Types (`: [u64; 4]`), attributes (`#[`),
+        // slice patterns (`let [a, b] =`), array literals (`= [`) and
+        // macro brackets (`vec![`) all have a different preceding
+        // token — a keyword, `:`, `=`, `#`, `!` — and stay silent.
+        if punct(i, '[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let is_recv = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                || (prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]"));
+            if is_recv {
+                push(&mut out, RuleId::D6, "indexing");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_in(src: &str) -> Vec<(RuleId, String)> {
+        scan(&lex(src).tokens)
+            .into_iter()
+            .map(|f| (f.rule, f.what))
+            .collect()
+    }
+
+    #[test]
+    fn d2_needs_the_full_path() {
+        assert!(rules_in("let t = Instant::now();")
+            .iter()
+            .any(|(r, _)| *r == RuleId::D2));
+        // `Instant` alone (storing one handed in) is fine.
+        assert!(!rules_in("fn f(t: Instant) {}")
+            .iter()
+            .any(|(r, _)| *r == RuleId::D2));
+        // `SystemTime::UNIX_EPOCH` is fine.
+        assert!(!rules_in("let e = SystemTime::UNIX_EPOCH;")
+            .iter()
+            .any(|(r, _)| *r == RuleId::D2));
+    }
+
+    #[test]
+    fn d4_catches_the_family() {
+        let found = rules_in("struct S { m: Mutex<u8>, a: AtomicU64, c: Cell<u8> }");
+        let names: Vec<&str> = found
+            .iter()
+            .filter(|(r, _)| *r == RuleId::D4)
+            .map(|(_, w)| w.as_str())
+            .collect();
+        assert_eq!(names, vec!["Mutex", "AtomicU64", "Cell"]);
+        assert!(rules_in("std::thread::spawn(|| ());")
+            .iter()
+            .any(|(r, w)| *r == RuleId::D4 && w == "thread::spawn"));
+    }
+
+    #[test]
+    fn d6_indexing_heuristic_is_quiet_on_types_and_attrs() {
+        for silent in [
+            "#[derive(Debug)] struct S;",
+            "let a: [u64; 4] = [0; 4];",
+            "let [x, y] = pair;",
+            "let v = vec![1, 2];",
+            "fn f() -> [u8; 2] { todo!() }",
+        ] {
+            assert!(
+                !rules_in(silent).iter().any(|(r, _)| *r == RuleId::D6),
+                "{silent}"
+            );
+        }
+        for noisy in ["let x = arr[i];", "f(a)[0]", "m[k][j]", "x.y.unwrap()"] {
+            assert!(
+                rules_in(noisy).iter().any(|(r, _)| *r == RuleId::D6),
+                "{noisy}"
+            );
+        }
+    }
+
+    #[test]
+    fn btree_collections_stay_silent() {
+        assert!(
+            rules_in("use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};")
+                .is_empty()
+        );
+    }
+}

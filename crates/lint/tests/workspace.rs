@@ -1,0 +1,86 @@
+//! The gate itself: the real workspace must analyze clean, and a
+//! seeded violation must be caught. The second half is the PR 5/6
+//! style "teeth" self-check at the library level — CI additionally
+//! runs the end-to-end variant, appending a real `HashMap` to a
+//! protocol source file and asserting the binary exits non-zero.
+
+use lint::rules::RuleId;
+use lint::{analyze_source, analyze_workspace};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the root")
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let report = analyze_workspace(workspace_root()).expect("scan the workspace");
+    // A useful failure message: every deny finding, not just a count.
+    let deny: Vec<String> = report
+        .deny()
+        .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "atomlint deny findings in the workspace:\n{}",
+        deny.join("\n")
+    );
+    // Sanity that the walk actually covered the tree — a path bug
+    // that scanned nothing would also report "clean".
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned — walk broken?",
+        report.files_scanned
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::D6 && f.path == "crates/neko/src/kernel.rs"),
+        "the D6 panic-surface report should cover the kernel"
+    );
+}
+
+#[test]
+fn a_seeded_protocol_violation_is_caught() {
+    // The library-level teeth: every rule's canonical hazard, dropped
+    // into a protocol-crate path, must produce a deny finding.
+    for (src, rule) in [
+        ("use std::collections::HashMap;", RuleId::D1),
+        (
+            "fn t() -> std::time::Instant { std::time::Instant::now() }",
+            RuleId::D2,
+        ),
+        ("fn r() -> u64 { rand::random() }", RuleId::D3),
+        (
+            "static N: std::sync::Mutex<u64> = std::sync::Mutex::new(0);",
+            RuleId::D4,
+        ),
+        (
+            "fn u(v: &[u8]) -> u8 { unsafe { *v.get_unchecked(0) } }",
+            RuleId::D5,
+        ),
+    ] {
+        let findings = analyze_source("crates/consensus/src/injected.rs", src);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == rule && f.severity == lint::rules::Severity::Deny),
+            "seeded {rule} violation not caught: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn an_unjustified_allow_cannot_launder_a_violation() {
+    // A directive with no reason is malformed; the hazard it tried to
+    // cover still fires, and the directive itself is a finding.
+    let src = "// atomlint::allow(D1):\nuse std::collections::HashMap;\n";
+    let findings = analyze_source("crates/abcast/src/injected.rs", src);
+    assert!(findings.iter().any(|f| f.rule == RuleId::D1));
+    assert!(findings.iter().any(|f| f.rule == RuleId::BadDirective));
+}

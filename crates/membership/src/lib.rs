@@ -16,6 +16,11 @@
 //! driving contract, [`View`]/[`ViewId`] for views, [`GmMsg`] /
 //! [`GmAction`] for the wire protocol and outputs.
 
+// Protocol state machines must be bit-deterministic and free of
+// ambient effects; atomlint rule D5 denies `unsafe` here, and this
+// attribute makes the same invariant compiler-enforced.
+#![forbid(unsafe_code)]
+
 mod machine;
 mod msg;
 mod view;

@@ -15,7 +15,7 @@ use crate::time::{Dur, Time};
 
 /// Maximum number of processes the simulation engine supports:
 /// destination sets, suspect masks and partition groups are
-/// [`MASK_WORDS`]-word bit masks of this width. (The thread-per-process
+/// `MASK_WORDS`-word bit masks of this width. (The thread-per-process
 /// real-time backend, [`crate::RealRuntime`], keeps its own lower cap.)
 pub const MAX_PROCESSES: usize = 256;
 

@@ -33,10 +33,13 @@
 //! insertion seq, dropped when the event surfaces. The kernel keeps
 //! its own timer tombstones (cancelled timers still count as
 //! processed events, which golden executions pin); the wheel-level
-//! cancel exists for direct users and the differential tests.
+//! cancel exists for direct users and the differential tests. The
+//! tombstone set is a `BTreeSet`: it is only ever probed by key, but
+//! a deterministic structure keeps the queue free of hash-order state
+//! by construction (atomlint rule D1) rather than by argument.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Bits consumed per level; each slot array is `2^SLOT_BITS` wide.
 const SLOT_BITS: u32 = 6;
@@ -101,7 +104,7 @@ pub struct TimingWheel<T> {
     /// `(tie, seq)` and popped from the front.
     due: VecDeque<Due<T>>,
     /// Lazily-cancelled insertion seqs.
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// Live entries (cancelled ones count until they surface).
     len: usize,
     /// High-water mark of `len`.
@@ -116,7 +119,7 @@ impl<T> TimingWheel<T> {
             occupancy: [0; LEVELS],
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
             due: VecDeque::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             len: 0,
             peak: 0,
         }
@@ -144,7 +147,7 @@ impl<T> TimingWheel<T> {
 
     /// Resets the wheel to its freshly-built state — cursor at zero,
     /// nothing pending — while keeping the capacity of every slot
-    /// vector, the due batch and the tombstone set. Only occupied
+    /// vector and the due batch. Only occupied
     /// slots are visited (via the occupancy bitmaps), so resetting an
     /// already-drained wheel is O(levels), not O(704 slots).
     pub fn reset(&mut self) {
@@ -323,7 +326,7 @@ impl<T> Default for TimingWheel<T> {
 /// benchmarks can measure the two on identical workloads.
 pub struct ReferenceHeap<T> {
     heap: BinaryHeap<RefEntry<T>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     len: usize,
 }
 
@@ -353,7 +356,7 @@ impl<T> ReferenceHeap<T> {
     pub fn new() -> Self {
         ReferenceHeap {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             len: 0,
         }
     }

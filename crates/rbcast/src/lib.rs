@@ -32,6 +32,11 @@
 //! assert!(matches!(out[1], RbAction::Deliver { payload: "hello", .. }));
 //! ```
 
+// Protocol state machines must be bit-deterministic and free of
+// ambient effects; atomlint rule D5 denies `unsafe` here, and this
+// attribute makes the same invariant compiler-enforced.
+#![forbid(unsafe_code)]
+
 use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 
