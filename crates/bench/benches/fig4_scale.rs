@@ -10,8 +10,11 @@
 //! and four-word destination masks exist precisely to make this sweep
 //! routine — it doubles as the scaling acceptance run for that work.
 //!
-//! Throughput grids shrink with n: every broadcast fans out a full
-//! consensus round, so the saturation knee moves in roughly as 1/n.
+//! All three study algorithms sweep each size (the paper's two plus
+//! the ring contender), so the scaling story is comparative, not
+//! FD-only. Throughput grids shrink with n: every broadcast fans out
+//! a full consensus round, so the saturation knee moves in roughly
+//! as 1/n.
 //! The two groups land under *separate* figure keys so re-running one
 //! (e.g. only the XL half, which is what `ATOMBENCH_SCALE_NS=128,256`
 //! selects) never clobbers the other's recorded history.
@@ -59,14 +62,16 @@ fn run_group(figure: &str, ns: &[usize], keep: Option<&Vec<usize>>) {
     let mut report = Report::new(figure, "throughput_per_s");
     let mut entries = Vec::new();
     for n in ns {
-        for t in thin(throughputs(n)) {
-            let point = SweepPoint::new(
-                Algorithm::Fd,
-                FaultScript::normal_steady(),
-                steady_params(n, t).with_network_model(NetworkModel::Switched),
-                0x0F16_0040,
-            );
-            entries.push((format!("n={n} Fd switched"), t, point));
+        for alg in Algorithm::STUDY {
+            for t in thin(throughputs(n)) {
+                let point = SweepPoint::new(
+                    alg,
+                    FaultScript::normal_steady(),
+                    steady_params(n, t).with_network_model(NetworkModel::Switched),
+                    0x0F16_0040,
+                );
+                entries.push((format!("n={n} {alg:?} switched"), t, point));
+            }
         }
     }
     for (series, t, out) in sweep(entries) {

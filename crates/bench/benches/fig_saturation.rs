@@ -111,7 +111,7 @@ fn main() {
     );
     for (topo_name, model) in topologies {
         for (scenario, script) in scenarios().into_iter().take(scenario_count) {
-            for alg in Algorithm::PAPER {
+            for alg in Algorithm::STUDY {
                 for (batch_name, batching) in [("unbatched", None), ("batched", Some(batch_cfg()))]
                 {
                     let mut params = base.clone().with_network_model(model);

@@ -41,7 +41,7 @@ fn main() {
             Dur::from_millis(downtime_ms),
             Dur::from_millis(30),
         );
-        for alg in Algorithm::PAPER {
+        for alg in Algorithm::STUDY {
             let point = SweepPoint::new(alg, script.clone(), params(3, 100.0), 0xC5A1);
             entries.push((format!("crash-recover {alg:?}"), downtime_ms, point));
         }
@@ -55,7 +55,7 @@ fn main() {
             Dur::from_millis(cut_ms),
             Dur::from_millis(30),
         );
-        for alg in Algorithm::PAPER {
+        for alg in Algorithm::STUDY {
             let point = SweepPoint::new(alg, script.clone(), params(3, 100.0), 0xC5A2);
             entries.push((format!("healing-partition {alg:?}"), cut_ms, point));
         }
@@ -73,7 +73,7 @@ fn main() {
                 Dur::from_millis(30),
             );
         }
-        for alg in Algorithm::PAPER {
+        for alg in Algorithm::STUDY {
             let point = SweepPoint::new(alg, script.clone(), params(5, 100.0), 0xC5A3);
             entries.push((format!("rolling-churn {alg:?}"), downtime_ms, point));
         }

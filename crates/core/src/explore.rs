@@ -26,7 +26,7 @@
 //!
 //! let explorer = Explorer::new(42).with_budget(8);
 //! let outcome = explorer.explore();
-//! assert!(outcome.repro.is_none(), "both stacks survive 16 tuples");
+//! assert!(outcome.repro.is_none(), "all three stacks survive 24 tuples");
 //! // Every examined tuple can be regenerated and replayed on its own.
 //! let t = explorer.tuple(study::Algorithm::Fd, 3);
 //! assert!(matches!(run_tuple(&t), Verdict::Pass { .. }));
@@ -42,6 +42,7 @@ use neko::{
     SimBuilder, Time,
 };
 use rand::RngCore;
+use ringpaxos::RingNode;
 
 use crate::oracle::{self, DeliveryLog, Expectations, Violation};
 use crate::runner::{down_intervals, parallel_map, sweep_workers, Algorithm};
@@ -178,15 +179,16 @@ pub struct Explorer {
 
 impl Explorer {
     /// An explorer with the documented default budget: 1000 tuples
-    /// per paper algorithm, groups of 3–5 on the shared-medium and
-    /// switched topologies (every 16th tuple a 64-process group on
-    /// the switched fabric), ~80 broadcasts/s over a 1.2 s horizon
-    /// with a 2.5 s quiescence deadline.
+    /// per study algorithm (the paper's two plus the ring contender),
+    /// groups of 3–5 on the shared-medium and switched topologies
+    /// (every 16th tuple a 64-process group on the switched fabric),
+    /// ~80 broadcasts/s over a 1.2 s horizon with a 2.5 s quiescence
+    /// deadline.
     pub fn new(seed: u64) -> Self {
         Explorer {
             seed,
             budget: 1000,
-            algorithms: Algorithm::PAPER.to_vec(),
+            algorithms: Algorithm::STUDY.to_vec(),
             topologies: vec![NetworkModel::SharedMedium, NetworkModel::Switched],
             group_sizes: (3, 5),
             large_group: Some(64),
@@ -625,6 +627,14 @@ pub fn run_tuple(t: &Tuple) -> Verdict {
         Algorithm::GmNonUniform => drive(t, &compiled, &arrivals, end, gm_quorum_collapsed, |p| {
             GmNode::<u64>::with_uniformity(p, n, &initial, Uniformity::NonUniform)
         }),
+        Algorithm::Ring => drive(
+            t,
+            &compiled,
+            &arrivals,
+            end,
+            |_| false,
+            |p| RingNode::<u64>::new(p, n, &initial),
+        ),
     };
     let mut exp = expectations(t, &compiled, &arrivals);
     if collapsed {
@@ -802,6 +812,7 @@ fn alg_tag(alg: Algorithm) -> u64 {
         Algorithm::FdNoRenumber => 0xA2,
         Algorithm::Gm => 0xA3,
         Algorithm::GmNonUniform => 0xA4,
+        Algorithm::Ring => 0xA5,
     }
 }
 
@@ -882,10 +893,10 @@ mod tests {
     }
 
     #[test]
-    fn small_clean_budget_passes_for_both_algorithms() {
+    fn small_clean_budget_passes_for_all_algorithms() {
         let out = quick_explorer(5).explore();
         assert!(out.repro.is_none(), "violation: {}", out.repro.unwrap());
-        assert_eq!(out.examined, 24, "12 tuples × 2 algorithms");
+        assert_eq!(out.examined, 36, "12 tuples × 3 algorithms");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use neko::{
     derive_seed, Dur, Injection, NetParams, NetStats, NetworkModel, Pid, Process, RealConfig,
     RealRuntime, Runtime, Schedule, Sim, SimBuilder, Time,
 };
+use ringpaxos::RingNode;
 
 use crate::script::{CompiledScript, FaultScript, ScriptAction};
 use crate::stats::{Reservoir, Running, Summary};
@@ -46,11 +47,19 @@ pub enum Algorithm {
     Gm,
     /// The non-uniform GM variant of the paper's Section 8.
     GmNonUniform,
+    /// Ring Paxos-style atomic broadcast (beyond the paper):
+    /// consensus on compact message ids, payload repair forwarded
+    /// around a ring of f+1 acceptors.
+    Ring,
 }
 
 impl Algorithm {
     /// The two algorithms the paper compares.
     pub const PAPER: [Algorithm; 2] = [Algorithm::Fd, Algorithm::Gm];
+
+    /// The study's full three-way comparison: the paper's two
+    /// algorithms plus the ring contender.
+    pub const STUDY: [Algorithm; 3] = [Algorithm::Fd, Algorithm::Gm, Algorithm::Ring];
 }
 
 /// Which [`neko::Runtime`] backend executes a run.
@@ -566,6 +575,20 @@ pub fn run_once(alg: Algorithm, script: &FaultScript, params: &RunParams, seed: 
             seed,
             end,
         ),
+        (Algorithm::Ring, None) => run_impl(
+            |p| RingNode::<u64>::new(p, n, &initial),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
+        (Algorithm::Ring, Some(cfg)) => run_impl(
+            |p| Batched::new(p, RingNode::<Pack<u64>>::new(p, n, &initial), cfg),
+            &compiled,
+            params,
+            seed,
+            end,
+        ),
     }
 }
 
@@ -871,6 +894,26 @@ mod tests {
         assert!(
             (f - g).abs() < 1e-9,
             "same workload, same seeds, identical patterns: fd={f} gm={g}"
+        );
+    }
+
+    #[test]
+    fn ring_matches_fd_in_normal_steady() {
+        // The ring algorithm's steady state reuses the FD algorithm's
+        // dissemination and ordering machinery; only the consensus
+        // *values* shrink (ids instead of id+payload batches). The
+        // cost model charges per message, not per byte, so the two
+        // must produce bit-identical suspicion-free runs.
+        let p = quick(3, 100.0);
+        let fd = run_replicated(Algorithm::Fd, &FaultScript::normal_steady(), &p, 2);
+        let ring = run_replicated(Algorithm::Ring, &FaultScript::normal_steady(), &p, 2);
+        let (f, r) = (
+            fd.mean_latency_ms().unwrap(),
+            ring.mean_latency_ms().unwrap(),
+        );
+        assert!(
+            (f - r).abs() < 1e-9,
+            "same workload, same seeds, identical patterns: fd={f} ring={r}"
         );
     }
 

@@ -4,8 +4,9 @@
 //! classification is stable, reviewable, and independent of build
 //! configuration. The map mirrors the architecture the goldens pin:
 //!
-//! * **protocol** — the five pure-state-machine crates (`abcast`,
-//!   `consensus`, `membership`, `fd`, `rbcast`). Strictest contract:
+//! * **protocol** — the six pure-state-machine crates (`abcast`,
+//!   `consensus`, `membership`, `fd`, `rbcast`, `ringpaxos`).
+//!   Strictest contract:
 //!   no hash-order state, no clocks, no ambient RNG, no threads or
 //!   interior mutability, no `unsafe`.
 //! * **sim** — everything else sim-reachable: the `neko` engine
@@ -55,8 +56,15 @@ impl fmt::Display for Zone {
     }
 }
 
-/// The five crates under the protocol contract.
-pub const PROTOCOL_CRATES: [&str; 5] = ["abcast", "consensus", "membership", "fd", "rbcast"];
+/// The six crates under the protocol contract.
+pub const PROTOCOL_CRATES: [&str; 6] = [
+    "abcast",
+    "consensus",
+    "membership",
+    "fd",
+    "rbcast",
+    "ringpaxos",
+];
 
 /// Classifies a workspace-relative path (`/`-separated) into its
 /// zone. First match wins; the order encodes precedence — e.g. a
@@ -101,6 +109,7 @@ mod tests {
             ("crates/membership/src/view.rs", Zone::Protocol),
             ("crates/fd/src/suspect.rs", Zone::Protocol),
             ("crates/rbcast/src/lib.rs", Zone::Protocol),
+            ("crates/ringpaxos/src/machine.rs", Zone::Protocol),
             ("crates/neko/src/kernel.rs", Zone::Sim),
             ("crates/neko/src/wheel.rs", Zone::Sim),
             ("crates/neko/src/real.rs", Zone::Runtime),

@@ -1,0 +1,973 @@
+//! The Ring Paxos-style atomic broadcast state machine.
+//!
+//! Ordering is the FD algorithm's reduction — reliable broadcast of
+//! `(id, payload)` plus a sequence of consensus instances — with one
+//! structural change: consensus values are [`IdBatch`]es of **ids
+//! only**. A decision can therefore outrun its payloads (the FD
+//! algorithm's batches carry the bodies, so it never can), and the
+//! delivery loop blocks at the first decided id whose payload is
+//! locally missing. The repair is the ring: a [`RingMsg::Fetch`] is
+//! sent unicast to the most likely holder (the id's origin, then the
+//! requester's ring successor) and hops acceptor to acceptor around
+//! the f+1-member ring until some holder answers the requester
+//! directly with a [`RingMsg::Fwd`]. Delivered bodies are archived so
+//! any process that has delivered can serve a laggard's fetch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use abcast::{MsgId, Payload};
+use consensus::{Consensus, ConsensusAction, ConsensusConfig, ConsensusMsg};
+use fdet::SuspectSet;
+use neko::{FdEvent, Pid};
+use rbcast::{RbAction, RbMsg, ReliableBcast};
+
+use crate::ring::{ring_members, ring_successor};
+
+/// A consensus proposal/decision: the *ids* of a batch of messages,
+/// tagged with the proposer for the renumbering optimisation. This is
+/// the Ring Paxos signature — the ordering tier agrees on compact
+/// identifiers, never on payload bodies.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IdBatch {
+    /// The process whose proposal this is.
+    pub proposer: Pid,
+    /// The batched message ids, in id order.
+    pub ids: Vec<MsgId>,
+}
+
+/// Wire messages of the ring algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingMsg<P> {
+    /// Reliable broadcast of a payload.
+    Data(RbMsg<(MsgId, P)>),
+    /// Consensus traffic of instance `k` (ids only).
+    Cons {
+        /// The instance number.
+        k: u64,
+        /// The embedded consensus message.
+        inner: ConsensusMsg<IdBatch>,
+    },
+    /// Channel repair: "my oldest undecided instance is `k` and it
+    /// has made no progress — resend what I may have lost" (identical
+    /// to the FD algorithm's nudge).
+    Nudge {
+        /// The sender's current instance.
+        k: u64,
+    },
+    /// Payload repair: `requester` holds a decision for `ids` but not
+    /// their bodies. Hops unicast around the ring — each acceptor
+    /// serves what it holds and forwards the remainder to its ring
+    /// successor while `ttl` lasts.
+    Fetch {
+        /// The process missing the payloads (the `Fwd` target).
+        requester: Pid,
+        /// The ids still unresolved at this hop.
+        ids: Vec<MsgId>,
+        /// Remaining hops before the fetch is dropped (the
+        /// requester's stall probe re-issues).
+        ttl: u8,
+    },
+    /// Payload repair answer: bodies sent unicast straight back to
+    /// the fetch's requester.
+    Fwd {
+        /// The resolved `(id, payload)` pairs.
+        msgs: Vec<(MsgId, P)>,
+    },
+}
+
+/// Outputs of the ring state machine, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingAction<P> {
+    /// Send to one process.
+    Send(Pid, RingMsg<P>),
+    /// Send to all other processes.
+    Multicast(RingMsg<P>),
+    /// `A-deliver`.
+    Deliver {
+        /// The broadcast's identity.
+        id: MsgId,
+        /// Its payload.
+        payload: P,
+    },
+}
+
+/// Consensus messages buffered for an instance not yet started.
+type FutureMsgs = Vec<(Pid, ConsensusMsg<IdBatch>)>;
+
+/// Observable progress of the oldest undecided instance, compared
+/// across stall probes: `(instance, consensus diagnostic snapshot)`.
+type ProgressSig = (u64, Option<(u32, &'static str, usize, usize)>);
+
+/// Per-process endpoint of the ring atomic broadcast algorithm.
+///
+/// Pure state machine; the [`crate::RingNode`] shell adapts it to
+/// [`neko::Process`].
+#[derive(Debug)]
+pub struct RingAbcast<P: Payload> {
+    me: Pid,
+    n: usize,
+    rb: ReliableBcast<(MsgId, P)>,
+    /// Received but not yet ordered payloads.
+    pending: BTreeMap<MsgId, P>,
+    delivered: BTreeSet<MsgId>,
+    delivered_log: Vec<MsgId>,
+    /// Delivered bodies, retained to serve laggards' fetches. Bounded
+    /// by the run length, like the FD algorithm's decided-instance
+    /// map — the study's runs are seconds of simulated time.
+    archive: BTreeMap<MsgId, P>,
+    /// Next instance to decide (all below are decided).
+    k: u64,
+    instances: BTreeMap<u64, Consensus<IdBatch>>,
+    decisions_ahead: BTreeMap<u64, IdBatch>,
+    future: BTreeMap<u64, FutureMsgs>,
+    coord_first: Pid,
+    suspects: SuspectSet,
+    /// Ids with a fetch in flight (cleared each probe tick, so lost
+    /// fetches are retried at probe cadence without flooding).
+    fetching: BTreeSet<MsgId>,
+    /// Rotates the fetch entry point across re-issues: origin first,
+    /// then around the ring, then everyone else.
+    fetch_cursor: usize,
+    /// Progress signature at the last stall probe.
+    last_probe: Option<ProgressSig>,
+    /// Consecutive probes with a frozen signature.
+    stalled_probes: u32,
+    /// Reused action buffers for the inner rbcast/consensus machines.
+    rb_scratch: Vec<RbAction<(MsgId, P)>>,
+    cons_scratch: Vec<ConsensusAction<IdBatch>>,
+}
+
+impl<P: Payload> RingAbcast<P> {
+    /// Creates the endpoint for `me` in a system of `n` processes.
+    /// `suspects` is the failure detector's current output.
+    pub fn new(me: Pid, n: usize, suspects: &SuspectSet) -> Self {
+        RingAbcast {
+            me,
+            n,
+            rb: ReliableBcast::new(me),
+            pending: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            delivered_log: Vec::new(),
+            archive: BTreeMap::new(),
+            k: 1,
+            instances: BTreeMap::new(),
+            decisions_ahead: BTreeMap::new(),
+            future: BTreeMap::new(),
+            coord_first: Pid::new(0),
+            suspects: suspects.clone(),
+            fetching: BTreeSet::new(),
+            fetch_cursor: 0,
+            last_probe: None,
+            stalled_probes: 0,
+            rb_scratch: Vec::new(),
+            cons_scratch: Vec::new(),
+        }
+    }
+
+    /// The A-delivery order so far (ids).
+    pub fn delivered_log(&self) -> &[MsgId] {
+        &self.delivered_log
+    }
+
+    /// Number of messages received but not yet ordered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current consensus instance number.
+    pub fn instance(&self) -> u64 {
+        self.k
+    }
+
+    /// Ids decided at the current instance whose payloads are still
+    /// missing locally (the delivery loop is blocked on them).
+    pub fn missing_payloads(&self) -> Vec<MsgId> {
+        self.decisions_ahead
+            .get(&self.k)
+            .map(|b| self.missing_of(b))
+            .unwrap_or_default()
+    }
+
+    /// The current ring, as this process derives it.
+    pub fn ring(&self) -> Vec<Pid> {
+        ring_members(self.n, self.coord_first, &self.suspects)
+    }
+
+    /// `A-broadcast(payload)`; returns the new message's id.
+    pub fn broadcast(&mut self, payload: P, out: &mut Vec<RingAction<P>>) -> MsgId {
+        let bid = self.rb.next_id();
+        let id = MsgId {
+            origin: bid.origin,
+            seq: bid.seq,
+        };
+        let mut rb_out = std::mem::take(&mut self.rb_scratch);
+        let assigned = self.rb.broadcast((id, payload), &mut rb_out);
+        debug_assert_eq!(assigned, bid);
+        self.map_rb(&mut rb_out, out);
+        self.rb_scratch = rb_out;
+        id
+    }
+
+    /// Handles a wire message.
+    pub fn on_message(&mut self, from: Pid, msg: RingMsg<P>, out: &mut Vec<RingAction<P>>) {
+        match msg {
+            RingMsg::Data(rbmsg) => {
+                let mut rb_out = std::mem::take(&mut self.rb_scratch);
+                self.rb.on_message(from, rbmsg, &self.suspects, &mut rb_out);
+                self.map_rb(&mut rb_out, out);
+                self.rb_scratch = rb_out;
+                // A data arrival may be the body a decided batch was
+                // blocked on.
+                self.apply_ready_decisions(out);
+            }
+            RingMsg::Cons { k, inner } => {
+                if k > self.k {
+                    // Instances run strictly in order locally; keep
+                    // early traffic for later.
+                    self.future.entry(k).or_default().push((from, inner));
+                    return;
+                }
+                if k == self.k {
+                    self.ensure_instance(out);
+                }
+                let Some(inst) = self.instances.get_mut(&k) else {
+                    return;
+                };
+                let mut cons_out = std::mem::take(&mut self.cons_scratch);
+                inst.on_message(from, inner, &mut cons_out);
+                self.pump_cons(k, &mut cons_out, out);
+                self.cons_scratch = cons_out;
+            }
+            RingMsg::Nudge { k } => {
+                if k < self.k {
+                    // The sender is behind: serve it every decision it
+                    // is missing (it applies them in order, fetching
+                    // the payload bodies it lacks).
+                    for kk in k..self.k {
+                        if let Some(reply) =
+                            self.instances.get(&kk).and_then(Consensus::decision_reply)
+                        {
+                            out.push(RingAction::Send(
+                                from,
+                                RingMsg::Cons {
+                                    k: kk,
+                                    inner: reply,
+                                },
+                            ));
+                        }
+                    }
+                } else if k == self.k {
+                    // Same instance: re-emit our directed state — the
+                    // proposal (coordinator) or estimate/ack
+                    // (participant) the sender may have lost.
+                    if let Some(inst) = self.instances.get(&k) {
+                        let mut cons_out = std::mem::take(&mut self.cons_scratch);
+                        inst.resend_to(from, &mut cons_out);
+                        self.pump_cons(k, &mut cons_out, out);
+                        self.cons_scratch = cons_out;
+                    }
+                }
+                // k > self.k: the nudger is ahead; our own stall probe
+                // covers our side.
+            }
+            RingMsg::Fetch {
+                requester,
+                ids,
+                ttl,
+            } => self.on_fetch(requester, ids, ttl, out),
+            RingMsg::Fwd { msgs } => {
+                for (id, p) in msgs {
+                    self.fetching.remove(&id);
+                    if !self.delivered.contains(&id) {
+                        self.pending.entry(id).or_insert(p);
+                    }
+                }
+                self.apply_ready_decisions(out);
+                self.ensure_instance(out);
+            }
+        }
+    }
+
+    /// Periodic repair probe. Call at a coarse interval (the
+    /// [`crate::RingNode`] shell uses a timer). Two jobs: the FD
+    /// algorithm's consensus nudge when the oldest undecided instance
+    /// froze across two probes, and the ring's payload re-fetch when
+    /// a decided batch is still blocked on missing bodies — lost
+    /// fetches or forwards are retried with a rotated entry point.
+    /// Quiet in loss-free runs, so steady-state behaviour (and the
+    /// FD-identical message pattern) is untouched.
+    pub fn stall_probe(&mut self, out: &mut Vec<RingAction<P>>) {
+        // Payload repair is not subject to the two-probe hysteresis: a
+        // decided-but-missing-payload state is never "slow consensus",
+        // it is a lost message by construction.
+        let missing = self.missing_payloads();
+        if !missing.is_empty() {
+            self.fetching.clear();
+            self.fetch_cursor += 1;
+            self.issue_fetch(missing, out);
+        }
+        let sig = (
+            self.k,
+            self.instances.get(&self.k).map(Consensus::debug_state),
+        );
+        if self.last_probe.as_ref() == Some(&sig) {
+            self.stalled_probes += 1;
+        } else {
+            self.stalled_probes = 0;
+        }
+        self.last_probe = Some(sig);
+        // Two consecutive frozen probes (≥ 2 intervals of zero
+        // progress) separate real message loss from an instance
+        // merely queued behind a deep backlog near saturation.
+        if self.stalled_probes < 2 {
+            return;
+        }
+        let undecided = self
+            .instances
+            .get(&self.k)
+            .is_some_and(|c| !c.has_decided());
+        if undecided {
+            out.push(RingAction::Multicast(RingMsg::Nudge { k: self.k }));
+        }
+    }
+
+    /// Handles a failure-detector edge. Suspicion reconfigures the
+    /// ring implicitly — membership is a pure function of the suspect
+    /// set — and re-targets any blocked fetch aimed at the suspect.
+    pub fn on_fd(&mut self, ev: FdEvent, out: &mut Vec<RingAction<P>>) {
+        self.suspects.apply(ev);
+        if let FdEvent::Suspect(p) = ev {
+            // Lazy relay of undecided payloads from the suspect.
+            let mut rb_out = std::mem::take(&mut self.rb_scratch);
+            self.rb.on_suspect(p, &mut rb_out);
+            self.map_rb(&mut rb_out, out);
+            self.rb_scratch = rb_out;
+            // A fetch in flight may have been addressed to (or routed
+            // through) the suspect; re-issue on the rotated ring.
+            let missing = self.missing_payloads();
+            if !missing.is_empty() {
+                self.fetching.clear();
+                self.issue_fetch(missing, out);
+            }
+        }
+        // Only the in-flight instance reacts to suspicions; decided
+        // instances serve laggards by replying with the decision.
+        let k = self.k;
+        if let Some(inst) = self.instances.get_mut(&k) {
+            let mut cons_out = std::mem::take(&mut self.cons_scratch);
+            inst.on_fd(ev, &mut cons_out);
+            self.pump_cons(k, &mut cons_out, out);
+            self.cons_scratch = cons_out;
+        }
+    }
+
+    /// Serves a fetch hop: answer the requester with every body held
+    /// locally, forward the rest to the ring successor.
+    fn on_fetch(&mut self, requester: Pid, ids: Vec<MsgId>, ttl: u8, out: &mut Vec<RingAction<P>>) {
+        if requester == self.me {
+            // Our own fetch walked the whole ring unanswered; the
+            // stall probe re-issues with a rotated entry point.
+            return;
+        }
+        let mut found = Vec::new();
+        let mut rest = Vec::new();
+        for id in ids {
+            if let Some(p) = self.pending.get(&id).or_else(|| self.archive.get(&id)) {
+                found.push((id, p.clone()));
+            } else {
+                rest.push(id);
+            }
+        }
+        if !found.is_empty() {
+            out.push(RingAction::Send(requester, RingMsg::Fwd { msgs: found }));
+        }
+        if !rest.is_empty() && ttl > 1 {
+            if let Some(succ) = ring_successor(self.me, self.n, self.coord_first, &self.suspects) {
+                if succ != requester {
+                    out.push(RingAction::Send(
+                        succ,
+                        RingMsg::Fetch {
+                            requester,
+                            ids: rest,
+                            ttl: ttl - 1,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    fn map_rb(&mut self, rb_out: &mut Vec<RbAction<(MsgId, P)>>, out: &mut Vec<RingAction<P>>) {
+        for a in rb_out.drain(..) {
+            match a {
+                RbAction::Deliver {
+                    payload: (id, p), ..
+                } => {
+                    if !self.delivered.contains(&id) {
+                        self.fetching.remove(&id);
+                        self.pending.insert(id, p);
+                        self.ensure_instance(out);
+                    }
+                }
+                RbAction::Multicast(m) => out.push(RingAction::Multicast(RingMsg::Data(m))),
+                RbAction::Send(to, m) => out.push(RingAction::Send(to, RingMsg::Data(m))),
+            }
+        }
+    }
+
+    /// Creates (and proposes in) the current instance if there is a
+    /// reason to: pending messages, or incoming traffic for it.
+    fn ensure_instance(&mut self, out: &mut Vec<RingAction<P>>) {
+        if self.pending.is_empty() && !self.instances.contains_key(&self.k) {
+            return;
+        }
+        let k = self.k;
+        if !self.instances.contains_key(&k) {
+            let cfg = ConsensusConfig::ring_from(self.me, self.n, self.coord_first);
+            self.instances
+                .insert(k, Consensus::new(cfg, &self.suspects));
+        }
+        let inst = &self.instances[&k];
+        if inst.has_proposed() || inst.has_decided() {
+            return;
+        }
+        // The compact proposal: ids only (BTreeMap keys are already in
+        // id order, the paper's in-batch delivery tie-break).
+        let batch = IdBatch {
+            proposer: self.me,
+            ids: self.pending.keys().copied().collect(),
+        };
+        let mut cons_out = std::mem::take(&mut self.cons_scratch);
+        self.instances
+            .get_mut(&k)
+            .expect("inserted above")
+            .propose(batch, &mut cons_out);
+        self.pump_cons(k, &mut cons_out, out);
+        self.cons_scratch = cons_out;
+    }
+
+    fn pump_cons(
+        &mut self,
+        k: u64,
+        cons_out: &mut Vec<ConsensusAction<IdBatch>>,
+        out: &mut Vec<RingAction<P>>,
+    ) {
+        let mut decided = None;
+        for a in cons_out.drain(..) {
+            match a {
+                ConsensusAction::Send(p, m) => {
+                    out.push(RingAction::Send(p, RingMsg::Cons { k, inner: m }));
+                }
+                ConsensusAction::Multicast(m) => {
+                    out.push(RingAction::Multicast(RingMsg::Cons { k, inner: m }));
+                }
+                ConsensusAction::Decided(b) => decided = Some(b),
+            }
+        }
+        if let Some(batch) = decided {
+            self.decisions_ahead.insert(k, batch);
+            self.apply_ready_decisions(out);
+        }
+    }
+
+    fn missing_of(&self, batch: &IdBatch) -> Vec<MsgId> {
+        batch
+            .ids
+            .iter()
+            .filter(|id| !self.delivered.contains(id) && !self.pending.contains_key(id))
+            .copied()
+            .collect()
+    }
+
+    fn apply_ready_decisions(&mut self, out: &mut Vec<RingAction<P>>) {
+        loop {
+            let Some(next) = self.decisions_ahead.get(&self.k) else {
+                return;
+            };
+            let missing = self.missing_of(next);
+            if !missing.is_empty() {
+                // The decision outran its payloads: block in-order
+                // delivery and start the ring repair.
+                self.issue_fetch(missing, out);
+                return;
+            }
+            let batch = self
+                .decisions_ahead
+                .remove(&self.k)
+                .expect("present: just inspected");
+            for id in batch.ids {
+                if self.delivered.insert(id) {
+                    let p = self
+                        .pending
+                        .remove(&id)
+                        .expect("blocked above unless pending");
+                    self.delivered_log.push(id);
+                    self.rb.forget(rbcast::BcastId {
+                        origin: id.origin,
+                        seq: id.seq,
+                    });
+                    // Retain the body: a laggard applying this
+                    // decision later fetches it from us.
+                    self.archive.insert(id, p.clone());
+                    out.push(RingAction::Deliver { id, payload: p });
+                }
+            }
+            self.coord_first = batch.proposer;
+            self.k += 1;
+            // Drain consensus traffic that arrived early for the new
+            // instance. The instance number is pinned *outside* the
+            // loop: processing one buffered message can decide this
+            // instance and advance `self.k` (decisions already queued
+            // in `decisions_ahead` chain-apply), and feeding the
+            // remaining buffered messages into the *new* current
+            // instance would decide it with the old instance's value
+            // and silently diverge from the group (the FD algorithm's
+            // explorer-found bug; same structure here).
+            let drained_k = self.k;
+            if let Some(msgs) = self.future.remove(&drained_k) {
+                self.ensure_instance(out);
+                for (from, inner) in msgs {
+                    let Some(inst) = self.instances.get_mut(&drained_k) else {
+                        continue;
+                    };
+                    let mut cons_out = std::mem::take(&mut self.cons_scratch);
+                    inst.on_message(from, inner, &mut cons_out);
+                    self.pump_cons(drained_k, &mut cons_out, out);
+                    self.cons_scratch = cons_out;
+                }
+            }
+            self.ensure_instance(out);
+        }
+    }
+
+    /// Sends a fetch for every missing id that has none in flight.
+    /// The entry point rotates with `fetch_cursor`: the id's origin
+    /// first (it certainly held the body), then around the ring from
+    /// our successor, then any remaining process — so a repeatedly
+    /// re-issued fetch eventually tries every live holder.
+    fn issue_fetch(&mut self, missing: Vec<MsgId>, out: &mut Vec<RingAction<P>>) {
+        let members = ring_members(self.n, self.coord_first, &self.suspects);
+        let mut pool: Vec<Pid> = Vec::new();
+        if let Some(i) = members.iter().position(|&p| p == self.me) {
+            for j in 1..members.len() {
+                pool.push(members[(i + j) % members.len()]);
+            }
+        } else {
+            pool.extend(members.iter().copied());
+        }
+        for p in Pid::all(self.n) {
+            if p != self.me && !pool.contains(&p) {
+                pool.push(p);
+            }
+        }
+        if pool.is_empty() {
+            return;
+        }
+        let ttl = self.n.min(u8::MAX as usize) as u8;
+        let mut by_target: BTreeMap<Pid, Vec<MsgId>> = BTreeMap::new();
+        for id in missing {
+            if !self.fetching.insert(id) {
+                continue; // already in flight
+            }
+            let mut candidates: Vec<Pid> = Vec::new();
+            if id.origin != self.me && !self.suspects.is_suspected(id.origin) {
+                candidates.push(id.origin);
+            }
+            for &p in &pool {
+                if !candidates.contains(&p) {
+                    candidates.push(p);
+                }
+            }
+            let target = candidates[self.fetch_cursor % candidates.len()];
+            by_target.entry(target).or_default().push(id);
+        }
+        for (target, ids) in by_target {
+            out.push(RingAction::Send(
+                target,
+                RingMsg::Fetch {
+                    requester: self.me,
+                    ids,
+                    ttl,
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type A = RingAction<u32>;
+
+    fn nodes(n: usize) -> Vec<RingAbcast<u32>> {
+        (0..n)
+            .map(|i| RingAbcast::new(Pid::new(i), n, &SuspectSet::new()))
+            .collect()
+    }
+
+    /// Routes actions until quiescence (FIFO), returning deliveries
+    /// per process.
+    fn drive(
+        nodes: &mut [RingAbcast<u32>],
+        mut queue: Vec<(usize, usize, RingMsg<u32>)>,
+    ) -> Vec<Vec<(MsgId, u32)>> {
+        let n = nodes.len();
+        let mut delivered = vec![Vec::new(); n];
+        let mut steps = 0;
+        while !queue.is_empty() {
+            steps += 1;
+            assert!(steps < 100_000, "no quiescence");
+            let (from, to, m) = queue.remove(0);
+            let mut out = Vec::new();
+            nodes[to].on_message(Pid::new(from), m, &mut out);
+            route(to, out, n, &mut queue, &mut delivered);
+        }
+        delivered
+    }
+
+    fn route(
+        from: usize,
+        out: Vec<A>,
+        n: usize,
+        queue: &mut Vec<(usize, usize, RingMsg<u32>)>,
+        delivered: &mut [Vec<(MsgId, u32)>],
+    ) {
+        for a in out {
+            match a {
+                RingAction::Send(to, m) => queue.push((from, to.index(), m)),
+                RingAction::Multicast(m) => {
+                    for to in 0..n {
+                        if to != from {
+                            queue.push((from, to, m.clone()));
+                        }
+                    }
+                }
+                RingAction::Deliver { id, payload } => delivered[from].push((id, payload)),
+            }
+        }
+    }
+
+    #[test]
+    fn single_broadcast_delivered_everywhere_in_same_order() {
+        let mut ns = nodes(3);
+        let mut out = Vec::new();
+        let id = ns[1].broadcast(77, &mut out);
+        let mut queue = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        route(1, out, 3, &mut queue, &mut delivered);
+        let more = drive(&mut ns, queue);
+        for (i, d) in more.iter().enumerate() {
+            let mut all = delivered[i].clone();
+            all.extend(d.iter().cloned());
+            assert_eq!(all, vec![(id, 77)], "at p{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_broadcasts_are_totally_ordered() {
+        let mut ns = nodes(3);
+        let mut queue = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        for (i, n) in ns.iter_mut().enumerate() {
+            let mut out = Vec::new();
+            n.broadcast(10 + i as u32, &mut out);
+            route(i, out, 3, &mut queue, &mut delivered);
+        }
+        let more = drive(&mut ns, queue);
+        let mut logs: Vec<Vec<(MsgId, u32)>> = Vec::new();
+        for i in 0..3 {
+            let mut all = delivered[i].clone();
+            all.extend(more[i].iter().cloned());
+            logs.push(all);
+        }
+        assert_eq!(logs[0].len(), 3);
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+    }
+
+    #[test]
+    fn back_to_back_broadcasts_all_ordered() {
+        let mut ns = nodes(3);
+        let mut queue = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        for v in [1u32, 2u32, 3u32] {
+            let mut out = Vec::new();
+            ns[0].broadcast(v, &mut out);
+            route(0, out, 3, &mut queue, &mut delivered);
+        }
+        let more = drive(&mut ns, queue);
+        for i in 0..3 {
+            let mut all = delivered[i].clone();
+            all.extend(more[i].iter().cloned());
+            assert_eq!(all.len(), 3, "at p{}", i + 1);
+        }
+        assert_eq!(ns[0].delivered_log(), ns[1].delivered_log());
+        assert_eq!(ns[1].delivered_log(), ns[2].delivered_log());
+        assert_eq!(ns[0].pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_data_is_idempotent() {
+        let mut ns = nodes(3);
+        let mut out = Vec::new();
+        ns[0].broadcast(9, &mut out);
+        let data = out
+            .iter()
+            .find_map(|a| match a {
+                RingAction::Multicast(m @ RingMsg::Data(_)) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("data multicast");
+        let mut out1 = Vec::new();
+        ns[1].on_message(Pid::new(0), data.clone(), &mut out1);
+        assert_eq!(ns[1].pending(), 1);
+        let mut out2 = Vec::new();
+        ns[1].on_message(Pid::new(0), data, &mut out2);
+        assert!(out2.is_empty(), "duplicate ignored: {out2:?}");
+        assert_eq!(ns[1].pending(), 1);
+    }
+
+    /// The ring's raison d'être: a decision whose payload never
+    /// arrived blocks delivery, a fetch walks to a holder, and the
+    /// forwarded body unblocks delivery in the agreed order.
+    #[test]
+    fn missing_payload_is_fetched_and_delivery_stays_in_order() {
+        let mut ns = nodes(3);
+        // p1 and p2 decide two batches while p3 hears nothing.
+        let mut to_p3: Vec<(usize, RingMsg<u32>)> = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        for (origin, v) in [(0usize, 10u32), (1, 20)] {
+            let mut out = Vec::new();
+            ns[origin].broadcast(v, &mut out);
+            let mut queue = Vec::new();
+            capture(origin, out, &mut queue, &mut to_p3, &mut delivered);
+            let mut steps = 0;
+            while !queue.is_empty() {
+                steps += 1;
+                assert!(steps < 100_000, "no quiescence");
+                let (from, to, m) = queue.remove(0);
+                let mut out = Vec::new();
+                ns[to].on_message(Pid::new(from), m, &mut out);
+                capture(to, out, &mut queue, &mut to_p3, &mut delivered);
+            }
+        }
+        assert_eq!(ns[0].delivered_log().len(), 2);
+
+        // The cut heals selectively: p3 receives the *second*
+        // broadcast's body and both decisions, but the first
+        // broadcast's Data multicast is lost for good. p3 must block
+        // on batch 1, not deliver out of order or out of thin air.
+        let mut queue: Vec<(usize, usize, RingMsg<u32>)> = Vec::new();
+        let mut out = Vec::new();
+        let second_data = to_p3
+            .iter()
+            .find(|(from, m)| *from == 1 && matches!(m, RingMsg::Data(_)))
+            .cloned()
+            .expect("second broadcast's data");
+        ns[2].on_message(Pid::new(second_data.0), second_data.1, &mut out);
+        for (from, m) in to_p3
+            .iter()
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    RingMsg::Cons {
+                        inner: ConsensusMsg::Decide(_),
+                        ..
+                    }
+                )
+            })
+            .cloned()
+        {
+            ns[2].on_message(Pid::new(from), m, &mut out);
+        }
+        assert!(
+            !out.iter().any(|a| matches!(a, RingAction::Deliver { .. })),
+            "batch 1's payload is missing, so nothing may deliver: {out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, RingAction::Send(_, RingMsg::Fetch { .. }))),
+            "blocked delivery issues a fetch: {out:?}"
+        );
+        assert_eq!(ns[2].missing_payloads().len(), 1);
+
+        // Route p3's repair traffic against the live group until
+        // quiescent: the fetched body arrives and p3 ends with the
+        // group's exact log.
+        route(2, out, 3, &mut queue, &mut delivered);
+        drive(&mut ns, queue);
+        assert_eq!(
+            ns[2].delivered_log(),
+            ns[0].delivered_log(),
+            "fetched payloads deliver in the agreed order"
+        );
+        assert!(ns[2].missing_payloads().is_empty());
+    }
+
+    /// Routes among p1 ↔ p2 only; traffic addressed to p3 is captured
+    /// for manual replay (p3 is cut off and lagging).
+    fn capture(
+        from: usize,
+        out: Vec<A>,
+        queue: &mut Vec<(usize, usize, RingMsg<u32>)>,
+        to_p3: &mut Vec<(usize, RingMsg<u32>)>,
+        delivered: &mut [Vec<(MsgId, u32)>],
+    ) {
+        for a in out {
+            match a {
+                RingAction::Send(to, m) => {
+                    if to.index() == 2 {
+                        to_p3.push((from, m));
+                    } else {
+                        queue.push((from, to.index(), m));
+                    }
+                }
+                RingAction::Multicast(m) => {
+                    for to in 0..3 {
+                        if to == from {
+                            continue;
+                        }
+                        if to == 2 {
+                            to_p3.push((from, m.clone()));
+                        } else {
+                            queue.push((from, to, m.clone()));
+                        }
+                    }
+                }
+                RingAction::Deliver { id, payload } => delivered[from].push((id, payload)),
+            }
+        }
+    }
+
+    /// A fetch hop that holds nothing forwards the remainder to its
+    /// ring successor with a decremented ttl, and a ttl of 1 ends the
+    /// walk.
+    #[test]
+    fn fetch_forwards_around_the_ring_and_ttl_bounds_the_walk() {
+        let mut ns = nodes(5);
+        let id = MsgId {
+            origin: Pid::new(3),
+            seq: 0,
+        };
+        let mut out = Vec::new();
+        ns[1].on_message(
+            Pid::new(0),
+            RingMsg::Fetch {
+                requester: Pid::new(0),
+                ids: vec![id],
+                ttl: 3,
+            },
+            &mut out,
+        );
+        // p2 holds nothing: no Fwd, one forward to its ring successor.
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            RingAction::Send(
+                to,
+                RingMsg::Fetch {
+                    requester,
+                    ids,
+                    ttl,
+                },
+            ) => {
+                assert_eq!(*to, Pid::new(2), "ring successor of p2");
+                assert_eq!(*requester, Pid::new(0));
+                assert_eq!(ids, &vec![id]);
+                assert_eq!(*ttl, 2);
+            }
+            other => panic!("expected a forwarded fetch, got {other:?}"),
+        }
+        let mut out = Vec::new();
+        ns[1].on_message(
+            Pid::new(0),
+            RingMsg::Fetch {
+                requester: Pid::new(0),
+                ids: vec![id],
+                ttl: 1,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "ttl exhausted: {out:?}");
+    }
+
+    /// Duplicate forwarded bodies (two acceptors both answered, or a
+    /// retried fetch double-resolved) deliver exactly once.
+    #[test]
+    fn duplicate_fwd_is_idempotent() {
+        let mut ns = nodes(3);
+        let mut to_p3: Vec<(usize, RingMsg<u32>)> = Vec::new();
+        let mut delivered = vec![Vec::new(); 3];
+        let mut out = Vec::new();
+        ns[0].broadcast(10, &mut out);
+        let mut queue = Vec::new();
+        capture(0, out, &mut queue, &mut to_p3, &mut delivered);
+        while !queue.is_empty() {
+            let (from, to, m) = queue.remove(0);
+            let mut out = Vec::new();
+            ns[to].on_message(Pid::new(from), m, &mut out);
+            capture(to, out, &mut queue, &mut to_p3, &mut delivered);
+        }
+        let decision = to_p3
+            .iter()
+            .find(|(_, m)| {
+                matches!(
+                    m,
+                    RingMsg::Cons {
+                        inner: ConsensusMsg::Decide(_),
+                        ..
+                    }
+                )
+            })
+            .cloned()
+            .expect("decision");
+        // p3 A-broadcasts its own message (its multicast is lost to
+        // the cut) so it has a pending message and an open instance —
+        // the state any real participant is in when consensus traffic
+        // reaches it.
+        let mut out = Vec::new();
+        ns[2].broadcast(30, &mut out);
+        let mut out = Vec::new();
+        ns[2].on_message(Pid::new(decision.0), decision.1, &mut out);
+        let body = ns[0].archive[&ns[0].delivered_log()[0]];
+        let fwd = RingMsg::Fwd {
+            msgs: vec![(ns[0].delivered_log()[0], body)],
+        };
+        let mut out1 = Vec::new();
+        ns[2].on_message(Pid::new(0), fwd.clone(), &mut out1);
+        let deliveries = |v: &Vec<A>| {
+            v.iter()
+                .filter(|a| matches!(a, RingAction::Deliver { .. }))
+                .count()
+        };
+        assert_eq!(deliveries(&out1), 1, "first copy delivers: {out1:?}");
+        let mut out2 = Vec::new();
+        ns[2].on_message(Pid::new(1), fwd, &mut out2);
+        assert_eq!(deliveries(&out2), 0, "second copy is a no-op: {out2:?}");
+        assert_eq!(ns[2].delivered_log().len(), 1);
+    }
+
+    #[test]
+    fn suspicion_relays_pending_payloads() {
+        let mut ns = nodes(3);
+        let mut out = Vec::new();
+        ns[0].broadcast(9, &mut out);
+        let data = out
+            .iter()
+            .find_map(|a| match a {
+                RingAction::Multicast(m @ RingMsg::Data(_)) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("data multicast");
+        let mut out1 = Vec::new();
+        ns[1].on_message(Pid::new(0), data, &mut out1);
+        let mut out_fd = Vec::new();
+        ns[1].on_fd(FdEvent::Suspect(Pid::new(0)), &mut out_fd);
+        assert!(
+            out_fd
+                .iter()
+                .any(|a| matches!(a, RingAction::Multicast(RingMsg::Data(_)))),
+            "pending payload from the suspect is relayed: {out_fd:?}"
+        );
+    }
+}

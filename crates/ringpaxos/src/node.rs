@@ -1,0 +1,164 @@
+//! [`neko::Process`] shell for the ring algorithm, so the same state
+//! machine runs on the simulator and on the real-time runtime.
+
+use abcast::{AbcastEvent, Payload};
+use neko::{Ctx, Dur, FdEvent, Message, Pid, Process, TimerId};
+
+use crate::machine::{RingAbcast, RingAction, RingMsg};
+
+const TAG_STALL_PROBE: u64 = 3;
+
+/// Probe period for a group of `n`: the same scaling rule as the FD
+/// algorithm's shell (see `abcast`'s `probe_interval` rationale) —
+/// 50 ms through n = 64, growing linearly past it so a slow-but-
+/// healthy consensus phase at large n is not misread as a stall.
+fn probe_interval(n: usize) -> Dur {
+    if n <= 64 {
+        Dur::from_millis(50)
+    } else {
+        Dur::from_millis(2 * n as u64)
+    }
+}
+
+impl<P: Payload> Message for RingMsg<P> {
+    // Consensus aggregates whole id-batches per instance, and fetches
+    // are one-shot repairs; no wire-level coalescing.
+}
+
+/// A process running the **ring algorithm** (Ring Paxos-style atomic
+/// broadcast). Commands are payloads to A-broadcast; outputs are
+/// A-deliveries.
+#[derive(Debug)]
+pub struct RingNode<P: Payload> {
+    inner: RingAbcast<P>,
+    probe_timer: Option<TimerId>,
+    /// Stall-probe period, scaled to the group size.
+    probe_after: Dur,
+    /// Every other process — the fixed multicast destination set,
+    /// computed once instead of per handler call.
+    others: Vec<Pid>,
+    /// Reused action buffer (cleared between handler calls).
+    actions: Vec<RingAction<P>>,
+}
+
+impl<P: Payload> RingNode<P> {
+    /// Creates the node; `suspects_at_start` seeds the failure
+    /// detector output for crash-steady scenarios.
+    pub fn new(me: Pid, n: usize, suspects_at_start: &fdet::SuspectSet) -> Self {
+        RingNode {
+            inner: RingAbcast::new(me, n, suspects_at_start),
+            probe_timer: None,
+            probe_after: probe_interval(n),
+            others: Pid::all(n).filter(|&p| p != me).collect(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The wrapped state machine (inspection in tests/examples).
+    pub fn algorithm(&self) -> &RingAbcast<P> {
+        &self.inner
+    }
+
+    fn arm_probe(&mut self, ctx: &mut dyn Ctx<RingMsg<P>, AbcastEvent<P>>) {
+        if let Some(id) = self.probe_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.probe_timer = Some(ctx.set_timer(self.probe_after, TAG_STALL_PROBE));
+    }
+
+    fn run(
+        &mut self,
+        mut actions: Vec<RingAction<P>>,
+        ctx: &mut dyn Ctx<RingMsg<P>, AbcastEvent<P>>,
+    ) {
+        for a in actions.drain(..) {
+            match a {
+                RingAction::Send(to, m) => ctx.send(to, m),
+                RingAction::Multicast(m) => ctx.multicast(&self.others, m),
+                RingAction::Deliver { id, payload } => {
+                    ctx.emit(AbcastEvent::Delivered { id, payload })
+                }
+            }
+        }
+        // Park the (now empty) buffer for the next handler call.
+        self.actions = actions;
+    }
+}
+
+impl<P: Payload> Process for RingNode<P> {
+    type Msg = RingMsg<P>;
+    type Cmd = P;
+    type Out = AbcastEvent<P>;
+
+    fn on_start(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        self.arm_probe(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>) {
+        // Probe ticks due while we were down never fired; restart the
+        // chain (cancelling a stale pre-crash timer, if any).
+        self.arm_probe(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, id: TimerId, tag: u64) {
+        if tag == TAG_STALL_PROBE && self.probe_timer == Some(id) {
+            let mut out = std::mem::take(&mut self.actions);
+            self.inner.stall_probe(&mut out);
+            self.arm_probe(ctx);
+            self.run(out, ctx);
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, cmd: P) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.inner.broadcast(cmd, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, from: Pid, msg: Self::Msg) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.inner.on_message(from, msg, &mut out);
+        self.run(out, ctx);
+    }
+
+    fn on_fd(&mut self, ctx: &mut dyn Ctx<Self::Msg, Self::Out>, ev: FdEvent) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.inner.on_fd(ev, &mut out);
+        self.run(out, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast::MsgId;
+    use rbcast::{BcastId, RbMsg};
+
+    #[test]
+    fn ring_messages_never_merge() {
+        let mk = || {
+            RingMsg::Data(RbMsg::Data {
+                id: BcastId {
+                    origin: Pid::new(0),
+                    seq: 0,
+                },
+                payload: (
+                    MsgId {
+                        origin: Pid::new(0),
+                        seq: 0,
+                    },
+                    7u32,
+                ),
+            })
+        };
+        let mut a = mk();
+        assert!(!Message::try_merge(&mut a, &mk()));
+    }
+
+    #[test]
+    fn probe_interval_scales_past_the_historical_range() {
+        assert_eq!(probe_interval(3), Dur::from_millis(50));
+        assert_eq!(probe_interval(64), Dur::from_millis(50));
+        assert_eq!(probe_interval(128), Dur::from_millis(256));
+    }
+}

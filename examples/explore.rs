@@ -15,9 +15,10 @@
 //!     cargo run --release --example explore        # ~million-tuple soak
 //! ```
 //!
-//! The soak budget (500 000 per algorithm, two paper algorithms —
-//! a million tuples) runs in well under an hour at the measured
-//! explorer throughput (see `explore_throughput`).
+//! The soak budget (500 000 per algorithm, three study algorithms —
+//! the paper's two plus the ring contender, 1.5 million tuples)
+//! runs in about an hour at the measured explorer throughput (see
+//! `explore_throughput`).
 
 use study::explore::Explorer;
 

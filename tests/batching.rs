@@ -85,6 +85,22 @@ fn batched_gm_upholds_the_abcast_contract() {
 }
 
 #[test]
+fn batched_ring_upholds_the_abcast_contract() {
+    use ringpaxos::RingNode;
+    let n = 3;
+    let suspects = SuspectSet::new();
+    let cfg = BatchConfig::new(8, Dur::from_millis(3));
+    let logs = drive(
+        |p| Batched::new(p, RingNode::<Pack<u64>>::new(p, n, &suspects), cfg),
+        n,
+        0xBA7C06,
+    );
+    let total = logs[0].len();
+    assert!(total > 100, "workload must be non-trivial: {total}");
+    assert_invariants(&logs, total, "batched Ring");
+}
+
+#[test]
 fn batched_and_unbatched_deliver_the_same_payload_set() {
     let n = 3;
     let suspects = SuspectSet::new();
@@ -125,7 +141,7 @@ fn batching_survives_crash_recovery() {
         .with_drain(Dur::from_secs(1))
         .with_replications(2)
         .with_batching(BatchConfig::new(4, Dur::from_millis(5)));
-    for alg in Algorithm::PAPER {
+    for alg in Algorithm::STUDY {
         let out = run_replicated(alg, &script, &params, 0xBA7C04);
         let lat = out
             .latency

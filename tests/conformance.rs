@@ -14,6 +14,7 @@
 use abcast::{AbcastEvent, FdNode, GmNode};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, RealConfig, RealRuntime, Runtime, SimBuilder, Time};
+use ringpaxos::RingNode;
 use study::oracle::{self, DeliveryLog};
 use study::{poisson_arrivals, run_once, Algorithm, Backend, FaultScript, RunParams};
 
@@ -94,6 +95,13 @@ fn same_seeded_workload_conforms_across_backends_gm() {
     let n = 3;
     let s = SuspectSet::new();
     conformance_for(|p| GmNode::<u64>::new(p, n, &s), "GM sim↔real");
+}
+
+#[test]
+fn same_seeded_workload_conforms_across_backends_ring() {
+    let n = 3;
+    let s = SuspectSet::new();
+    conformance_for(|p| RingNode::<u64>::new(p, n, &s), "Ring sim↔real");
 }
 
 /// Short wall-clock run dimensions for the scenario smoke below. The
@@ -214,18 +222,26 @@ fn paper_scenarios_run_for_real_gm() {
 }
 
 #[test]
+fn paper_scenarios_run_for_real_ring() {
+    scenarios_run_for_real(Algorithm::Ring);
+}
+
+#[test]
 fn sim_and_real_agree_on_what_was_measured() {
     // `measured` counts script-time arrivals by live senders — a pure
     // function of the compiled script and the seed, so both backends
-    // must report the same number for the same run dimensions.
+    // must report the same number for the same run dimensions, for
+    // every study algorithm (the paper's two plus the ring contender).
     let script = FaultScript::normal_steady();
-    let sim = run_once(
-        Algorithm::Fd,
-        &script,
-        &real_params(3, 50.0).with_backend(Backend::Sim),
-        7,
-    );
-    let real = run_once(Algorithm::Fd, &script, &real_params(3, 50.0), 7);
-    assert_eq!(sim.measured, real.measured);
-    assert_eq!(real.undelivered, 0);
+    for alg in Algorithm::STUDY {
+        let sim = run_once(
+            alg,
+            &script,
+            &real_params(3, 50.0).with_backend(Backend::Sim),
+            7,
+        );
+        let real = run_once(alg, &script, &real_params(3, 50.0), 7);
+        assert_eq!(sim.measured, real.measured, "{alg:?}");
+        assert_eq!(real.undelivered, 0, "{alg:?}");
+    }
 }

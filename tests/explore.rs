@@ -64,7 +64,13 @@ fn sweeps_are_byte_identical_for_1_2_and_8_workers() {
             params.clone(),
             42,
         ),
-        SweepPoint::new(Algorithm::Fd, FaultScript::normal_steady(), params, 43),
+        SweepPoint::new(
+            Algorithm::Ring,
+            FaultScript::normal_steady(),
+            params.clone(),
+            43,
+        ),
+        SweepPoint::new(Algorithm::Fd, FaultScript::normal_steady(), params, 44),
     ];
     let serial = run_sweep_with_workers(&points, 1);
     let two = run_sweep_with_workers(&points, 2);
@@ -78,7 +84,7 @@ fn explorer_verdicts_are_reproducible_from_the_tuple_alone() {
     // A verdict must be a pure function of the regenerated tuple — no
     // hidden state from the exploration that produced it.
     let e = quick_explorer(0xE0);
-    for alg in Algorithm::PAPER {
+    for alg in Algorithm::STUDY {
         for index in [0, 1, 7] {
             let t = e.tuple(alg, index);
             assert_eq!(
@@ -103,7 +109,7 @@ fn explorer_verdicts_are_reproducible_from_the_tuple_alone() {
 fn run_context_recycling_is_invisible_in_results() {
     let e = quick_explorer(0x5C);
     // Tuple verdicts, serial: small corpus plus the n = 64 class.
-    for alg in Algorithm::PAPER {
+    for alg in Algorithm::STUDY {
         for index in [0, 3, 11] {
             let t = e.tuple(alg, index);
             study::set_run_scratch(false);
@@ -139,7 +145,13 @@ fn run_context_recycling_is_invisible_in_results() {
             params.clone(),
             17,
         ),
-        SweepPoint::new(Algorithm::Gm, FaultScript::normal_steady(), params, 18),
+        SweepPoint::new(
+            Algorithm::Gm,
+            FaultScript::normal_steady(),
+            params.clone(),
+            18,
+        ),
+        SweepPoint::new(Algorithm::Ring, FaultScript::normal_steady(), params, 19),
     ];
     for workers in [1usize, 2, 8] {
         study::set_run_scratch(false);
@@ -157,11 +169,12 @@ fn run_context_recycling_is_invisible_in_results() {
 
 #[cfg(not(feature = "mutation-skip-tiebreak"))]
 #[test]
-fn small_clean_budget_passes_both_algorithms() {
-    // The CI-scale budget (500 tuples per algorithm) runs as the
-    // `explore` example; this is the fast smoke of the same pipeline.
+fn small_clean_budget_passes_all_algorithms() {
+    // The CI-scale budget (1000 tuples per algorithm) runs as the
+    // `explore` example; this is the fast smoke of the same pipeline,
+    // covering the paper's two algorithms plus the ring contender.
     let outcome = quick_explorer(0xC1EA).explore();
-    assert_eq!(outcome.examined, 50, "25 tuples × 2 algorithms");
+    assert_eq!(outcome.examined, 75, "25 tuples × 3 algorithms");
     assert!(
         outcome.repro.is_none(),
         "violation on a clean build: {}",

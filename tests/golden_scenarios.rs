@@ -39,6 +39,108 @@ fn check(script: &FaultScript, params: &RunParams, alg: Algorithm, golden: &[(u6
     }
 }
 
+/// The ring contender's pins for the suspicion-free and
+/// crash-transient timelines. Both are bit-identical to FD's pins:
+/// in a suspicion-free run the ring stack sends the same messages at
+/// the same instants (rbcast dissemination + one consensus stream),
+/// and the simulator's cost model charges per message, not per byte,
+/// so ordering compact ids instead of payloads cannot move a
+/// timestamp. The crash-transient timeline decides before any fetch
+/// is needed (payloads disseminated with their ids), so the repair
+/// ring stays idle there too. A run where these pins drift apart from
+/// FD's is the signal that the ring's extra machinery leaked into the
+/// common case.
+#[test]
+fn ring_golden_scenarios_are_pinned() {
+    let golden_normal = [
+        (0x4029a224e769fc8b, 205, 0),
+        (0x4029cfda244ea8be, 206, 0),
+        (0x402a3fbe76c8b436, 212, 0),
+    ];
+    check(
+        &FaultScript::normal_steady(),
+        &quick(3, 100.0),
+        Algorithm::Ring,
+        &golden_normal,
+    );
+    let golden_transient = [
+        (0x4052400000000000, 1, 0),
+        (0x404e800000000000, 1, 0),
+        (0x404e800000000000, 1, 0),
+        (0x404e800000000000, 1, 0),
+        (0x404e800000000000, 1, 0),
+    ];
+    check(
+        &FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(50)),
+        &quick(3, 20.0)
+            .with_drain(Dur::from_secs(2))
+            .with_replications(5),
+        Algorithm::Ring,
+        &golden_transient,
+    );
+}
+
+/// The ring pins hold at every sweep worker count: the thread-pool
+/// executor must not leak scheduling into results for the new
+/// algorithm any more than for the paper's two.
+#[test]
+fn ring_goldens_are_byte_identical_across_sweep_workers() {
+    use study::{run_sweep_with_workers, SweepPoint};
+    let points = vec![
+        SweepPoint::new(
+            Algorithm::Ring,
+            FaultScript::normal_steady(),
+            quick(3, 100.0),
+            SEED,
+        ),
+        SweepPoint::new(
+            Algorithm::Ring,
+            FaultScript::crash_transient(Pid::new(0), Pid::new(1), Dur::from_millis(50)),
+            quick(3, 20.0)
+                .with_drain(Dur::from_secs(2))
+                .with_replications(5),
+            SEED,
+        ),
+    ];
+    let fingerprint = |outs: &[study::RunOutput]| {
+        outs.iter()
+            .flat_map(|o| {
+                o.runs.iter().map(|r| {
+                    (
+                        r.mean_latency_ms.map(f64::to_bits).unwrap_or(0),
+                        r.measured,
+                        r.undelivered,
+                    )
+                })
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = run_sweep_with_workers(&points, 1);
+    // The serial sweep reproduces the pinned goldens …
+    assert_eq!(
+        fingerprint(&serial),
+        vec![
+            (0x4029a224e769fc8b, 205, 0),
+            (0x4029cfda244ea8be, 206, 0),
+            (0x402a3fbe76c8b436, 212, 0),
+            (0x4052400000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+            (0x404e800000000000, 1, 0),
+        ],
+    );
+    // … and the pool never perturbs them.
+    for workers in [2usize, 8] {
+        let pooled = run_sweep_with_workers(&points, workers);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&pooled),
+            "{workers} workers"
+        );
+    }
+}
+
 #[test]
 fn normal_steady_matches_enum_path() {
     let script = FaultScript::normal_steady();

@@ -1,10 +1,12 @@
 //! Workspace-level invariant tests: the atomic broadcast guarantees
-//! must hold for both algorithms under every benchmark scenario, and
-//! runs must be exactly reproducible.
+//! must hold for every study algorithm (the paper's two plus the ring
+//! contender) under every benchmark scenario, and runs must be
+//! exactly reproducible.
 
 use abcast::{AbcastEvent, FdNode, GmNode, Uniformity};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, Sim, SimBuilder, Time};
+use ringpaxos::RingNode;
 use study::oracle::{self, DeliveryLog};
 use study::poisson_arrivals;
 
@@ -83,7 +85,30 @@ fn total_order_under_wrong_suspicions_gm() {
 }
 
 #[test]
-fn total_order_across_a_crash_both_algorithms() {
+fn total_order_under_wrong_suspicions_ring() {
+    // Wrong suspicions are what exercise the ring's repair machinery:
+    // every Suspect edge re-targets in-flight fetches and rotates the
+    // acceptor ring, so this is the scenario where ring-specific state
+    // could first diverge from the contract.
+    for seed in [1u64, 2, 3] {
+        let n = 3;
+        let s = SuspectSet::new();
+        let mut sim = SimBuilder::new(n)
+            .seed(seed)
+            .build_with(|p| RingNode::<u64>::new(p, n, &s));
+        let horizon = Time::from_secs(3);
+        let qos = QosParams::new()
+            .with_mistake_recurrence(Dur::from_millis(100))
+            .with_mistake_duration(Dur::from_millis(10));
+        sim.schedule_plan(fdet::suspicion_steady_plan(n, horizon, qos, seed));
+        let logs = run_scenario(sim, n, 50.0, horizon, seed);
+        assert_uniform_total_order(&logs, "Ring under suspicions");
+        assert!(!logs[0].is_empty(), "seed {seed}: something was delivered");
+    }
+}
+
+#[test]
+fn total_order_across_a_crash_all_algorithms() {
     let n = 5;
     let crash_at = Time::from_millis(700);
     let td = Dur::from_millis(40);
@@ -96,6 +121,9 @@ fn total_order_across_a_crash_both_algorithms() {
     let mut gm = SimBuilder::new(n)
         .seed(11)
         .build_with(|p| GmNode::<u64>::new(p, n, &s));
+    let mut ring = SimBuilder::new(n)
+        .seed(11)
+        .build_with(|p| RingNode::<u64>::new(p, n, &s));
     for sim_logs in [
         {
             fd.schedule_crash(crash_at, Pid::new(0));
@@ -106,6 +134,11 @@ fn total_order_across_a_crash_both_algorithms() {
             gm.schedule_crash(crash_at, Pid::new(0));
             gm.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
             run_scenario(gm, n, 100.0, horizon, 11)
+        },
+        {
+            ring.schedule_crash(crash_at, Pid::new(0));
+            ring.schedule_plan(fdet::crash_transient_plan(n, Pid::new(0), crash_at, td));
+            run_scenario(ring, n, 100.0, horizon, 11)
         },
     ] {
         assert_uniform_total_order(&sim_logs, "crash of the coordinator/sequencer");

@@ -11,6 +11,7 @@ use abcast::{AbcastEvent, FdNode, GmNode, MsgId};
 use fdet::{QosParams, SuspectSet};
 use neko::{Dur, Pid, Process, Sim, SimBuilder, Time};
 use proptest::prelude::*;
+use ringpaxos::RingNode;
 use study::{poisson_arrivals, FaultScript, ScriptAction, ScriptTime};
 
 #[derive(Debug, Clone)]
@@ -142,6 +143,13 @@ fn gm_sim(n: usize, seed: u64) -> Sim<GmNode<u64>> {
         .build_with(|p| GmNode::<u64>::new(p, n, &s))
 }
 
+fn ring_sim(n: usize, seed: u64) -> Sim<RingNode<u64>> {
+    let s = SuspectSet::new();
+    SimBuilder::new(n)
+        .seed(seed)
+        .build_with(|p| RingNode::<u64>::new(p, n, &s))
+}
+
 /// A two-group partition that heals mid-run; the majority keeps p1.
 fn partition_script(n: usize) -> FaultScript {
     let cut = n / 2; // minority size ≤ majority size
@@ -178,6 +186,16 @@ proptest! {
     }
 
     #[test]
+    fn ring_algorithm_is_uniform_under_random_chaos(sc in scenario()) {
+        let (script, crashed) = chaos_script(&sc);
+        let crashed_for_liveness: Vec<Pid> =
+            if sc.recover { Vec::new() } else { crashed.clone() };
+        // Same liveness bar as FD: the ring stack shares its
+        // recovery profile (no view machinery, renumbering on).
+        check(ring_sim(sc.n, sc.seed), &sc, &script, &crashed_for_liveness, "Ring");
+    }
+
+    #[test]
     fn fd_algorithm_is_uniform_across_healing_partition(sc in scenario()) {
         let script = partition_script(sc.n);
         let minority: Vec<Pid> = (0..sc.n / 2).map(|i| Pid::new(sc.n - 1 - i)).collect();
@@ -189,5 +207,15 @@ proptest! {
         let script = partition_script(sc.n);
         let minority: Vec<Pid> = (0..sc.n / 2).map(|i| Pid::new(sc.n - 1 - i)).collect();
         check(gm_sim(sc.n, sc.seed), &sc, &script, &minority, "GM/partition");
+    }
+
+    #[test]
+    fn ring_algorithm_is_uniform_across_healing_partition(sc in scenario()) {
+        // Partitions starve the repair ring of its unsuspected
+        // successors mid-cut — the fetch path must rotate through the
+        // healed membership without double-delivering a payload.
+        let script = partition_script(sc.n);
+        let minority: Vec<Pid> = (0..sc.n / 2).map(|i| Pid::new(sc.n - 1 - i)).collect();
+        check(ring_sim(sc.n, sc.seed), &sc, &script, &minority, "Ring/partition");
     }
 }
